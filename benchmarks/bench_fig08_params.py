@@ -1,0 +1,139 @@
+"""Figure 8 — running time and conductance vs parameter settings.
+
+The paper studies, on the Yahoo graph (its largest), how each algorithm's
+parameters trade running time against cluster conductance (Figure 8a-h):
+
+* Nibble:       more iterations T and/or smaller eps -> slower, better phi;
+* PR-Nibble:    smaller eps -> slower, better phi;
+* HK-PR:        larger N and/or smaller eps -> slower, better phi;
+* rand-HK-PR:   larger K and/or more walks N -> slower, better phi.
+
+We sweep the same parameter grids (proxy-scaled) on the Yahoo proxy from
+the paper's best-seed-by-sampling starting vertex, reporting wall time and
+sweep conductance per setting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, write_csv
+from repro.core import (
+    HKPRParams,
+    NibbleParams,
+    PRNibbleParams,
+    RandHKPRParams,
+    best_seed_by_sampling,
+    hk_pr_parallel,
+    nibble_parallel,
+    pr_nibble_parallel,
+    rand_hk_pr_parallel,
+    sweep_cut,
+)
+from repro.runtime import time_call
+
+NIBBLE_GRID = [(T, eps) for T in (5, 10, 20) for eps in (1e-5, 1e-6, 1e-7)]
+PR_NIBBLE_GRID = [1e-4, 3e-5, 1e-5, 3e-6]
+HK_PR_GRID = [(N, eps) for N in (5, 10, 20) for eps in (1e-3, 1e-4, 1e-5)]
+RAND_HK_PR_GRID = [(K, n) for K in (5, 10, 20) for n in (10_000, 100_000)]
+
+
+@pytest.fixture(scope="module")
+def sweep_seed(largest):
+    # Figure 8's seed: "chosen by sampling ... vertices and picking the one
+    # that gave the lowest-conductance clusters".
+    seed, _ = best_seed_by_sampling(largest, num_candidates=30, rng=0)
+    return seed
+
+
+def _sweep(graph, seed, runs):
+    rows = []
+    for label, fn in runs:
+        diffusion, seconds = time_call(fn)
+        phi = sweep_cut(graph, diffusion.vector).best_conductance
+        rows.append([label, seconds, phi, diffusion.support_size()])
+    return rows
+
+
+def test_fig8ab_nibble(benchmark, largest, sweep_seed):
+    runs = [
+        (
+            f"T={T} eps={eps:g}",
+            lambda T=T, eps=eps: nibble_parallel(largest, sweep_seed, NibbleParams(T, eps)),
+        )
+        for T, eps in NIBBLE_GRID
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(largest, sweep_seed, runs), rounds=1, iterations=1)
+    headers = ["setting", "time (s)", "conductance", "support"]
+    print()
+    print(format_table(headers, rows, title="Figure 8(a,b): Nibble on Yahoo proxy"))
+    write_csv("fig08ab_nibble", headers, rows)
+    # Larger T / smaller eps never reduces the support.
+    by_setting = {row[0]: row for row in rows}
+    assert by_setting["T=20 eps=1e-07"][3] >= by_setting["T=5 eps=1e-05"][3]
+    assert by_setting["T=20 eps=1e-07"][2] <= by_setting["T=5 eps=1e-05"][2] + 1e-12
+
+
+def test_fig8cd_pr_nibble(benchmark, largest, sweep_seed):
+    runs = [
+        (
+            f"eps={eps:g}",
+            lambda eps=eps: pr_nibble_parallel(
+                largest, sweep_seed, PRNibbleParams(alpha=0.01, eps=eps)
+            ),
+        )
+        for eps in PR_NIBBLE_GRID
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(largest, sweep_seed, runs), rounds=1, iterations=1)
+    headers = ["setting", "time (s)", "conductance", "support"]
+    print()
+    print(format_table(headers, rows, title="Figure 8(c,d): PR-Nibble on Yahoo proxy"))
+    write_csv("fig08cd_pr_nibble", headers, rows)
+    # Decreasing eps: monotonically growing support, improving conductance.
+    supports = [row[3] for row in rows]
+    phis = [row[2] for row in rows]
+    assert supports == sorted(supports)
+    assert phis[-1] <= phis[0] + 1e-12
+
+
+def test_fig8ef_hk_pr(benchmark, largest, sweep_seed):
+    runs = [
+        (
+            f"N={N} eps={eps:g}",
+            lambda N=N, eps=eps: hk_pr_parallel(
+                largest, sweep_seed, HKPRParams(t=10.0, taylor_degree=N, eps=eps)
+            ),
+        )
+        for N, eps in HK_PR_GRID
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(largest, sweep_seed, runs), rounds=1, iterations=1)
+    headers = ["setting", "time (s)", "conductance", "support"]
+    print()
+    print(format_table(headers, rows, title="Figure 8(e,f): HK-PR on Yahoo proxy"))
+    write_csv("fig08ef_hk_pr", headers, rows)
+    by_setting = {row[0]: row for row in rows}
+    assert by_setting["N=20 eps=1e-05"][3] >= by_setting["N=5 eps=0.001"][3]
+
+
+def test_fig8gh_rand_hk_pr(benchmark, largest, sweep_seed):
+    runs = [
+        (
+            f"K={K} N={n}",
+            lambda K=K, n=n: rand_hk_pr_parallel(
+                largest,
+                sweep_seed,
+                RandHKPRParams(t=10.0, max_walk_length=K, num_walks=n),
+                rng=1,
+            ),
+        )
+        for K, n in RAND_HK_PR_GRID
+    ]
+    rows = benchmark.pedantic(lambda: _sweep(largest, sweep_seed, runs), rounds=1, iterations=1)
+    headers = ["setting", "time (s)", "conductance", "support"]
+    print()
+    print(format_table(headers, rows, title="Figure 8(g,h): rand-HK-PR on Yahoo proxy"))
+    write_csv("fig08gh_rand_hk_pr", headers, rows)
+    # More walks at fixed K improve (or match) conductance.
+    by_setting = {row[0]: row for row in rows}
+    assert by_setting["K=10 N=100000"][2] <= by_setting["K=10 N=10000"][2] + 0.05

@@ -1,0 +1,56 @@
+"""Figure 11 — parallel sweep cut running time vs input-set volume.
+
+The paper varies Nibble's parameters on Yahoo to produce input sets of
+growing volume and shows the 40-core parallel sweep time "scales nearly
+linearly, which is expected since the time is dominated by linear-work
+operations (the only part that scales super-linearly is the initial sort,
+which takes a small fraction of the total time)".
+
+We sweep Nibble's eps on the Yahoo proxy and fit the log-log slope of
+simulated 40-core sweep time against volume: it must be close to 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import ascii_series, format_table, profiled_run, write_csv
+from repro.core import NibbleParams, nibble_parallel, sweep_cut_parallel
+
+from paper_params import seed_for
+
+EPS_SWEEP = [3e-5, 1e-5, 3e-6, 1e-6, 3e-7, 1e-7]
+
+
+def _run_experiment(largest):
+    seed = seed_for(largest)
+    rows = []
+    for eps in EPS_SWEEP:
+        diffusion = nibble_parallel(largest, seed, NibbleParams(max_iterations=20, eps=eps))
+        if diffusion.support_size() < 2:
+            continue
+        run = profiled_run(lambda: sweep_cut_parallel(largest, diffusion.vector))
+        volume = int(run.value.volumes[-1])
+        rows.append([eps, run.value.num_candidates, volume, run.simulated_time(40), run.wall_seconds])
+    return rows
+
+
+def test_figure11_sweep_vs_volume(benchmark, largest):
+    rows = benchmark.pedantic(lambda: _run_experiment(largest), rounds=1, iterations=1)
+    headers = ["nibble eps", "set size", "volume", "T40 (sim s)", "wall (s)"]
+    print()
+    print(format_table(headers, rows, title="Figure 11: parallel sweep time vs input volume"))
+    volumes = np.asarray([row[2] for row in rows], dtype=np.float64)
+    times = np.asarray([row[3] for row in rows], dtype=np.float64)
+    print(ascii_series(volumes.tolist(), times.tolist(), logx=True, logy=True))
+    write_csv("fig11_sweep_volume", headers, rows)
+
+    assert len(rows) >= 4, "need several volumes to fit a slope"
+    # Volumes must span at least one order of magnitude for the fit.
+    assert volumes.max() / volumes.min() > 10.0
+    # Larger volume, (weakly) more time.
+    order = np.argsort(volumes)
+    assert (np.diff(times[order]) > -1e-9).all()
+    # Log-log slope ~ 1 (near-linear scaling).
+    slope = np.polyfit(np.log(volumes), np.log(times), 1)[0]
+    assert 0.8 <= slope <= 1.25, f"log-log slope {slope:.2f}"

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the parallel primitives (PBBS analogues).
+
+Not a paper artifact per se, but the substrate cost model rests on these
+primitives being linear-work in practice; the timings here let a user
+sanity-check the constants on their host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prims import (
+    IntFloatHashTable,
+    comparison_sort,
+    integer_sort,
+    pack,
+    prefix_sum,
+)
+
+N = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return {
+        "floats": rng.random(N),
+        "ints": rng.integers(0, N, size=N),
+        "flags": rng.random(N) < 0.5,
+        "keys": rng.integers(0, N // 4, size=N),
+    }
+
+
+def test_prefix_sum_throughput(benchmark, data):
+    result = benchmark(lambda: prefix_sum(data["floats"]))
+    assert len(result) == N
+
+
+def test_pack_throughput(benchmark, data):
+    result = benchmark(lambda: pack(data["ints"], data["flags"]))
+    assert 0 < len(result) < N
+
+
+def test_comparison_sort_throughput(benchmark, data):
+    result = benchmark(lambda: comparison_sort(data["floats"]))
+    assert len(result) == N
+
+
+def test_integer_sort_throughput(benchmark, data):
+    result = benchmark(lambda: integer_sort(data["ints"], max_key=N))
+    assert len(result) == N
+
+
+def test_hashtable_accumulate_throughput(benchmark, data):
+    def build():
+        table = IntFloatHashTable(capacity_hint=N // 4)
+        table.accumulate(data["keys"], 1.0)
+        return table
+
+    table = benchmark(build)
+    assert len(table) > 0
+
+
+def test_hashtable_lookup_throughput(benchmark, data):
+    table = IntFloatHashTable(capacity_hint=N // 4)
+    table.accumulate(data["keys"], 1.0)
+    values = benchmark(lambda: table.lookup(data["keys"]))
+    assert values.min() >= 1.0

@@ -1,0 +1,58 @@
+"""Table 1 — push counts: sequential vs parallel PR-Nibble.
+
+The paper's Table 1 reports, for seven real-world graphs (alpha=0.01,
+eps=1e-7), the number of pushes of sequential PR-Nibble, the number of
+pushes of parallel PR-Nibble, and the parallel iteration count.  The
+relationships to reproduce: parallel pushes exceed sequential by at most
+~1.6x (usually much less), and iterations are far fewer than pushes
+("parallelism is abundant").
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_csv
+from repro.core import pr_nibble_parallel, pr_nibble_sequential
+
+from paper_params import TABLE1_GRAPHS, FIG4_PR_NIBBLE, seed_for
+
+
+def _run_experiment(graphs):
+    rows = []
+    for name in TABLE1_GRAPHS:
+        graph = graphs[name]
+        seed = seed_for(graph)
+        sequential = pr_nibble_sequential(graph, seed, FIG4_PR_NIBBLE)
+        parallel = pr_nibble_parallel(graph, seed, FIG4_PR_NIBBLE)
+        rows.append(
+            [
+                name,
+                sequential.pushes,
+                parallel.pushes,
+                parallel.pushes / max(sequential.pushes, 1),
+                parallel.iterations,
+            ]
+        )
+    return rows
+
+
+def test_table1_push_counts(benchmark, graphs):
+    rows = benchmark.pedantic(lambda: _run_experiment(graphs), rounds=1, iterations=1)
+    headers = ["graph", "pushes (seq)", "pushes (par)", "par/seq", "iterations (par)"]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Table 1: PR-Nibble pushes, alpha={FIG4_PR_NIBBLE.alpha}, "
+                f"eps={FIG4_PR_NIBBLE.eps} (paper: par/seq <= 1.6, iterations << pushes)"
+            ),
+        )
+    )
+    write_csv("table1_pushes", headers, rows)
+
+    for name, seq_pushes, par_pushes, ratio, iterations in rows:
+        # The paper's band: parallel does at most ~1.6x the sequential
+        # pushes and never substantially fewer.
+        assert 0.9 <= ratio <= 2.0, f"{name}: par/seq push ratio {ratio:.2f}"
+        assert iterations < par_pushes / 5, f"{name}: too few pushes per iteration"

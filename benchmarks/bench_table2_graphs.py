@@ -1,0 +1,47 @@
+"""Table 2 — graph inventory: paper sizes vs proxy sizes.
+
+Regenerates the paper's input-graph table with the proxies' actual vertex
+and edge counts next to the paper-reported sizes, and benchmarks proxy
+construction (the paper's 'graph loading' cost analogue).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_csv
+from repro.graph import PROXIES, load_proxy, proxy_names
+
+
+def _rows(graphs):
+    rows = []
+    for name in proxy_names():
+        spec = PROXIES[name]
+        graph = graphs[name]
+        rows.append(
+            [
+                name,
+                spec.paper_vertices,
+                spec.paper_edges,
+                graph.num_vertices,
+                graph.num_edges,
+                spec.kind,
+            ]
+        )
+    return rows
+
+
+def test_table2_inventory(benchmark, graphs):
+    rows = benchmark.pedantic(lambda: _rows(graphs), rounds=1, iterations=1)
+    headers = ["graph", "paper n", "paper m", "proxy n", "proxy m", "proxy family"]
+    print()
+    print(format_table(headers, rows, title="Table 2: input graphs (paper vs proxy)"))
+    write_csv("table2_graphs", headers, rows)
+    assert len(rows) == 10
+    for row in rows:
+        assert row[3] > 0 and row[4] > 0
+        # Proxies are deliberately scaled far below the paper's sizes.
+        assert row[3] < row[1]
+
+
+def test_proxy_construction_speed(benchmark):
+    graph = benchmark(lambda: load_proxy("soc-LJ", scale=0.2, seed=99))
+    assert graph.num_vertices > 0

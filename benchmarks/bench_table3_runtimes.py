@@ -1,0 +1,152 @@
+"""Table 3 — running times of all algorithms + sweep on all ten graphs.
+
+The paper's Table 3 reports T_1 (single-thread) and T_40 (40 cores with
+hyper-threading) for parallel Nibble / PR-Nibble / HK-PR / rand-HK-PR and
+the sweep cut, plus the sequential implementations' times, on the ten
+Table-2 graphs.
+
+Our columns: simulated T_1 and T_40 on the paper machine (from the
+measured work-depth profile of each run — see DESIGN.md's substitution
+policy), the self-relative speedup, the wall-clock of the vectorised run
+on this host, and the sequential implementation's simulated time (flat in
+core count by construction).  Shapes to reproduce: solid T_1/T_40 ratios
+on the social-network proxies, negligible ones on the meshes ("not enough
+work to benefit from parallelism"), and sequential sweep beating parallel
+sweep at one core.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, profiled_run, write_csv
+from repro.core import (
+    hk_pr_parallel,
+    hk_pr_sequential,
+    nibble_parallel,
+    nibble_sequential,
+    pr_nibble_parallel,
+    pr_nibble_sequential,
+    rand_hk_pr_parallel,
+    rand_hk_pr_sequential,
+    sweep_cut_parallel,
+    sweep_cut_sequential,
+)
+from repro.graph import proxy_names
+
+from paper_params import (
+    TABLE3_HK_PR,
+    TABLE3_NIBBLE,
+    TABLE3_PR_NIBBLE,
+    TABLE3_RAND_HK_PR,
+    seed_for,
+)
+
+#: (label, parallel runner, sequential runner) per Table-3 row group.
+ALGORITHMS = [
+    (
+        "Nibble",
+        lambda g, s: nibble_parallel(g, s, TABLE3_NIBBLE),
+        lambda g, s: nibble_sequential(g, s, TABLE3_NIBBLE),
+    ),
+    (
+        "PR-Nibble",
+        lambda g, s: pr_nibble_parallel(g, s, TABLE3_PR_NIBBLE),
+        lambda g, s: pr_nibble_sequential(g, s, TABLE3_PR_NIBBLE),
+    ),
+    (
+        "HK-PR",
+        lambda g, s: hk_pr_parallel(g, s, TABLE3_HK_PR),
+        lambda g, s: hk_pr_sequential(g, s, TABLE3_HK_PR),
+    ),
+    (
+        "rand-HK-PR",
+        lambda g, s: rand_hk_pr_parallel(g, s, TABLE3_RAND_HK_PR, rng=0),
+        lambda g, s: rand_hk_pr_sequential(g, s, TABLE3_RAND_HK_PR, rng=0),
+    ),
+]
+
+
+def _run_experiment(graphs):
+    rows = []
+    for name in proxy_names():
+        graph = graphs[name]
+        seed = seed_for(graph)
+        nibble_vector = None
+        for label, parallel_fn, sequential_fn in ALGORITHMS:
+            par = profiled_run(lambda: parallel_fn(graph, seed))
+            seq = profiled_run(lambda: sequential_fn(graph, seed))
+            if label == "Nibble":
+                nibble_vector = par.value.vector
+            rows.append(
+                [
+                    name,
+                    label,
+                    par.simulated_time(1),
+                    par.simulated_time(40),
+                    par.speedup(40),
+                    par.wall_seconds,
+                    seq.simulated_time(1),
+                    seq.wall_seconds,
+                ]
+            )
+        # The paper's sweep rows use the output of Nibble.
+        par = profiled_run(lambda: sweep_cut_parallel(graph, nibble_vector))
+        seq = profiled_run(lambda: sweep_cut_sequential(graph, nibble_vector))
+        rows.append(
+            [
+                name,
+                "Sweep",
+                par.simulated_time(1),
+                par.simulated_time(40),
+                par.speedup(40),
+                par.wall_seconds,
+                seq.simulated_time(1),
+                seq.wall_seconds,
+            ]
+        )
+    return rows
+
+
+def test_table3_running_times(benchmark, graphs):
+    rows = benchmark.pedantic(lambda: _run_experiment(graphs), rounds=1, iterations=1)
+    headers = [
+        "graph",
+        "algorithm",
+        "par T1 (sim s)",
+        "par T40 (sim s)",
+        "T1/T40",
+        "par wall (s)",
+        "seq T1 (sim s)",
+        "seq wall (s)",
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title="Table 3: running times (simulated paper machine + host wall-clock)",
+        )
+    )
+    write_csv("table3_runtimes", headers, rows)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    assert len(rows) == 10 * 5
+
+    # Diffusions on the social-network proxies parallelise well...
+    for graph_name in ("soc-LJ", "com-LJ", "randLocal"):
+        for algorithm in ("Nibble", "PR-Nibble", "HK-PR", "rand-HK-PR"):
+            speedup = by_key[(graph_name, algorithm)][4]
+            assert speedup > 3.0, f"{graph_name}/{algorithm}: {speedup:.1f}x"
+    # ...and rand-HK-PR scales best (embarrassingly parallel walks).
+    for graph_name in ("soc-LJ", "Twitter", "Yahoo"):
+        rand_speedup = by_key[(graph_name, "rand-HK-PR")][4]
+        assert rand_speedup > 30.0, f"{graph_name}: rand-HK-PR only {rand_speedup:.1f}x"
+
+    # Mesh graphs terminate too quickly to benefit (the paper's nlpkkt240 /
+    # 3D-grid observation): their Nibble speedup trails the social graphs'.
+    mesh = min(by_key[("nlpkkt240", "Nibble")][4], by_key[("3D-grid", "Nibble")][4])
+    social = by_key[("soc-LJ", "Nibble")][4]
+    assert mesh < social
+
+    # Parallel sweep does more work than sequential sweep at one core on
+    # graphs with a large swept set.
+    assert by_key[("soc-LJ", "Sweep")][2] > by_key[("soc-LJ", "Sweep")][6]

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Each module under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Parameter settings live in
+:mod:`paper_params`.  Heavy experiment drivers run once via
+``benchmark.pedantic(rounds=1)``; results are printed as paper-style tables
+(visible with ``pytest -s`` or in captured output) and written as CSV under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_proxy, proxy_names
+
+from paper_params import LARGEST_GRAPH
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    """All ten Table-2 proxies, loaded once per session."""
+    return {name: load_proxy(name) for name in proxy_names()}
+
+
+@pytest.fixture(scope="session")
+def largest(graphs):
+    return graphs[LARGEST_GRAPH]

@@ -1,0 +1,62 @@
+"""Paper experiment parameters, proxy-scaled, shared by all benchmarks.
+
+The paper's settings (Table 3 caption): Nibble T=20 eps=1e-8; PR-Nibble
+alpha=0.01 eps=1e-7; HK-PR t=10 N=20 eps=1e-7; rand-HK-PR t=10 K=10 N=1e8 —
+on graphs of 10^9..10^10 edges.  Our proxies are ~10^3x smaller and eps
+bounds a per-degree residual, so eps (and the walk count) scale accordingly
+to touch a comparable *fraction* of each graph ("at least tens of thousands
+of vertices", the paper's calibration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HKPRParams, NibbleParams, PRNibbleParams, RandHKPRParams
+from repro.graph import proxy_names
+
+TABLE3_NIBBLE = NibbleParams(max_iterations=20, eps=1e-7)
+TABLE3_PR_NIBBLE = PRNibbleParams(alpha=0.01, eps=3e-6)
+TABLE3_HK_PR = HKPRParams(t=10.0, taylor_degree=20, eps=1e-4)
+TABLE3_RAND_HK_PR = RandHKPRParams(t=10.0, max_walk_length=10, num_walks=100_000)
+
+#: Figure 4 / Table 1 setting.  eps sits safely *above* the saturation
+#: point of the proxies: once a diffusion touches essentially the whole
+#: (small) proxy graph, the optimized rule's more aggressive spreading can
+#: invert the paper's push-count ordering — a finite-size artifact the
+#: paper's billion-edge graphs never approach.
+FIG4_PR_NIBBLE = PRNibbleParams(alpha=0.01, eps=1e-5)
+
+#: The seven real-world graphs of the paper's Table 1.
+TABLE1_GRAPHS = [
+    "soc-LJ",
+    "cit-Patents",
+    "com-LJ",
+    "com-Orkut",
+    "Twitter",
+    "com-friendster",
+    "Yahoo",
+]
+
+#: The eight graphs of the paper's Figure 9 (meshes excluded: the paper
+#: notes they terminate too quickly to benefit from parallelism).
+FIGURE9_GRAPHS = [name for name in proxy_names() if name not in ("nlpkkt240", "3D-grid")]
+
+#: The paper's Figure 9/10 x-axis ("on 40 cores, 80 hyper-threads are used").
+CORE_COUNTS = [1, 2, 4, 8, 16, 24, 32, 40]
+
+#: The three billion-edge graphs of Figure 12.
+FIGURE12_GRAPHS = ["Twitter", "com-friendster", "Yahoo"]
+
+#: The largest graph, used by Figures 8, 10 and 11.
+LARGEST_GRAPH = "Yahoo"
+
+
+def seed_for(graph) -> int:
+    """Deterministic high-degree seed inside the giant component.
+
+    The paper uses "a single arbitrary vertex in the largest component";
+    the maximum-degree vertex is a deterministic choice that guarantees
+    enough diffusion work to measure.
+    """
+    return int(np.argmax(graph.degrees()))

@@ -1,0 +1,70 @@
+"""Community detection with local clustering (the paper's Section 1 use case).
+
+"Andersen and Lang use a variant of the algorithm of Spielman and Teng to
+identify communities in networks" — this example plants communities in a
+graph, then recovers them from single seed vertices with each of the four
+diffusion algorithms, scoring the recovery against the ground truth.
+
+Run:  python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LocalClusterer
+from repro.graph import planted_partition
+
+NUM_COMMUNITIES = 20
+COMMUNITY_SIZE = 100
+
+
+def jaccard(found: np.ndarray, truth: np.ndarray) -> float:
+    a, b = set(found.tolist()), set(truth.tolist())
+    return len(a & b) / len(a | b)
+
+
+def main() -> None:
+    n = NUM_COMMUNITIES * COMMUNITY_SIZE
+    print(f"Planting {NUM_COMMUNITIES} communities of {COMMUNITY_SIZE} vertices each...")
+    graph = planted_partition(n, NUM_COMMUNITIES, intra_degree=8.0, inter_degree=1.0, seed=7)
+    print(f"  {graph!r}")
+
+    clusterer = LocalClusterer(graph, rng=0)
+    methods = {
+        "nibble": lambda seed: clusterer.nibble(seed, eps=1e-6),
+        "pr-nibble": lambda seed: clusterer.pr_nibble(seed, alpha=0.05, eps=1e-6),
+        "hk-pr": lambda seed: clusterer.hk_pr(seed, t=5.0, taylor_degree=12, eps=1e-5),
+        "rand-hk-pr": lambda seed: clusterer.rand_hk_pr(
+            seed, t=5.0, max_walk_length=10, num_walks=20_000
+        ),
+    }
+
+    rng = np.random.default_rng(1)
+    sample = rng.choice(NUM_COMMUNITIES, size=5, replace=False)
+    print(f"\nRecovering communities {sample.tolist()} from one random seed each:\n")
+    header = f"{'community':>10} {'seed':>6} " + "".join(f"{m:>22}" for m in methods)
+    print(header)
+    print("-" * len(header))
+
+    scores: dict[str, list[float]] = {name: [] for name in methods}
+    for community in sample.tolist():
+        truth = np.arange(community * COMMUNITY_SIZE, (community + 1) * COMMUNITY_SIZE)
+        seed = int(rng.choice(truth))
+        cells = []
+        for name, run in methods.items():
+            result = run(seed)
+            score = jaccard(result.cluster, truth)
+            scores[name].append(score)
+            cells.append(f"J={score:.2f} phi={result.conductance:.3f}")
+        print(f"{community:>10} {seed:>6} " + "".join(f"{c:>22}" for c in cells))
+
+    print("\nMean Jaccard overlap with ground truth:")
+    for name, values in scores.items():
+        print(f"  {name:11s} {np.mean(values):.3f}")
+    print("\nAll four diffusions find (near-)exact planted communities from a")
+    print("single seed while touching only a small neighborhood of the graph.")
+
+
+if __name__ == "__main__":
+    main()

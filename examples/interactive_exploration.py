@@ -1,0 +1,56 @@
+"""Interactive cluster exploration: find, inspect, remove, repeat.
+
+The paper's motivating workflow (Section 1): "an analyst would run a
+computation, study the result, and based on that determine what computation
+to run next.  Furthermore, the analyst may want to repeatedly remove local
+clusters from a graph."  This example peels several low-conductance
+clusters off a social-network proxy, re-seeding in the remainder each time
+— the loop that motivates making every single query fast.
+
+Run:  python examples/interactive_exploration.py [rounds]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import LocalClusterer
+from repro.core import best_seed_by_sampling
+from repro.graph import induced_subgraph, load_proxy
+
+
+def main() -> None:
+    rounds = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+    print("Loading the soc-LJ proxy...")
+    graph = load_proxy("soc-LJ")
+    ids = np.arange(graph.num_vertices)  # current -> original vertex ids
+    print(f"  {graph!r}\n")
+
+    for round_number in range(1, rounds + 1):
+        start = time.perf_counter()
+        seed, sampled_phi = best_seed_by_sampling(graph, num_candidates=20, rng=round_number)
+        clusterer = LocalClusterer(graph)
+        result = clusterer.pr_nibble(seed, alpha=0.01, eps=1e-5)
+        elapsed = time.perf_counter() - start
+
+        print(f"round {round_number}: seed {int(ids[seed])} -> "
+              f"|S|={result.size}, phi={result.conductance:.4f} "
+              f"({elapsed:.2f}s including seed sampling)")
+        preview = ", ".join(map(str, ids[result.cluster][:8].tolist()))
+        print(f"  members (original ids): [{preview}{', ...' if result.size > 8 else ''}]")
+
+        keep = np.setdiff1d(np.arange(graph.num_vertices), result.cluster)
+        graph, kept_old = induced_subgraph(graph, keep)
+        ids = ids[kept_old]
+        print(f"  removed; remaining graph: {graph!r}\n")
+
+    print("Each query returned in well under a second of diffusion time —")
+    print("the interactivity the paper's parallel algorithms are built for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package installs in offline
+environments that lack the ``wheel`` package (where PEP 517 editable
+installs fail): ``python setup.py develop`` is the fallback for
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — Parallel Local Graph Clustering.
+
+A from-scratch Python reproduction of *"Parallel Local Graph Clustering"*
+(J. Shun, F. Roosta-Khorasani, K. Fountoulakis, M. W. Mahoney; VLDB 2016):
+work-efficient parallel versions of the Nibble, PageRank-Nibble, heat
+kernel PageRank and randomized heat kernel PageRank local clustering
+algorithms, a work-efficient parallel sweep cut, the Ligra-style local
+graph-processing substrate they run on, and the paper's full experimental
+harness.
+
+Quick start
+-----------
+>>> import repro
+>>> graph = repro.graph.barbell_graph(16)
+>>> result = repro.local_cluster(graph, seeds=0, method="pr-nibble", eps=1e-5)
+>>> result.size, round(result.conductance, 4)
+(16, 0.0082)
+
+Subpackages
+-----------
+``repro.core``
+    The clustering algorithms, sweep cut, quality metrics, NCP driver.
+``repro.graph``
+    CSR graphs, builders, generators, IO, Table-2 proxy registry.
+``repro.ligra``
+    vertexSubset / vertexMap / edgeMap local-processing layer.
+``repro.prims``
+    Parallel primitives: scan, filter, sorting, hash table, sparse sets.
+``repro.runtime``
+    Work-depth instrumentation and the simulated multicore machine.
+"""
+
+from . import bench, core, graph, ligra, prims, runtime
+from .core import (
+    ALGORITHMS,
+    ClusterResult,
+    EvolvingSetParams,
+    HKPRParams,
+    LocalClusterer,
+    NibbleParams,
+    PRNibbleParams,
+    RandHKPRParams,
+    cluster_stats,
+    conductance,
+    evolving_set_process,
+    hk_pr,
+    local_cluster,
+    ncp_profile,
+    nibble,
+    pr_nibble,
+    rand_hk_pr,
+    sweep_cut,
+)
+from .graph import CSRGraph, load_proxy
+from .runtime import PAPER_MACHINE, MachineModel, track
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "core",
+    "graph",
+    "ligra",
+    "prims",
+    "runtime",
+    "ALGORITHMS",
+    "ClusterResult",
+    "EvolvingSetParams",
+    "HKPRParams",
+    "LocalClusterer",
+    "NibbleParams",
+    "PRNibbleParams",
+    "RandHKPRParams",
+    "cluster_stats",
+    "conductance",
+    "evolving_set_process",
+    "hk_pr",
+    "local_cluster",
+    "ncp_profile",
+    "nibble",
+    "pr_nibble",
+    "rand_hk_pr",
+    "sweep_cut",
+    "CSRGraph",
+    "load_proxy",
+    "PAPER_MACHINE",
+    "MachineModel",
+    "track",
+    "__version__",
+]

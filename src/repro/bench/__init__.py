@@ -1,0 +1,21 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` scripts."""
+
+from .harness import (
+    ProfiledRun,
+    ascii_series,
+    format_seconds,
+    format_table,
+    profiled_run,
+    results_dir,
+    write_csv,
+)
+
+__all__ = [
+    "ProfiledRun",
+    "ascii_series",
+    "format_seconds",
+    "format_table",
+    "profiled_run",
+    "results_dir",
+    "write_csv",
+]

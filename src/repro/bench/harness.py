@@ -1,0 +1,144 @@
+"""Benchmark harness utilities: profiling runs, tables, CSV emission.
+
+Every benchmark in ``benchmarks/`` regenerates one table or figure of the
+paper.  The helpers here keep those scripts small: run a callable under the
+work-depth tracker and a wall clock, simulate paper-machine times at any
+core count, format aligned tables that mirror the paper's layout, and write
+CSV series (one file per table/figure) under ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..runtime import PAPER_MACHINE, MachineModel, WorkDepthTracker, track
+
+__all__ = [
+    "ProfiledRun",
+    "profiled_run",
+    "results_dir",
+    "write_csv",
+    "format_table",
+    "format_seconds",
+    "ascii_series",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class ProfiledRun:
+    """One measured execution: its value, cost profile and wall time."""
+
+    value: Any
+    tracker: WorkDepthTracker
+    wall_seconds: float
+
+    def simulated_time(self, cores: int, machine: MachineModel = PAPER_MACHINE) -> float:
+        """Simulated paper-machine time at ``cores`` cores (T_1, T_40, ...)."""
+        return machine.simulated_time_on_cores(self.tracker, cores)
+
+    def speedup(self, cores: int, machine: MachineModel = PAPER_MACHINE) -> float:
+        return machine.self_relative_speedup(self.tracker, cores)
+
+
+def profiled_run(fn: Callable[[], T]) -> ProfiledRun:
+    """Execute ``fn`` under the cost tracker and a wall clock."""
+    start = time.perf_counter()
+    with track() as tracker:
+        value = fn()
+    elapsed = time.perf_counter() - start
+    return ProfiledRun(value=value, tracker=tracker, wall_seconds=elapsed)
+
+
+def results_dir() -> Path:
+    """Directory for CSV outputs (``REPRO_RESULTS`` or ``./results``)."""
+    path = Path(os.environ.get("REPRO_RESULTS", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_csv(name: str, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> Path:
+    """Write ``results/<name>.csv`` and return its path."""
+    path = results_dir() / f"{name}.csv"
+    with path.open("w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact human-readable seconds (paper tables use 2-3 significant digits)."""
+    if seconds <= 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    return f"{seconds:.3g}s"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Aligned monospace table (right-aligned numbers, left-aligned text)."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 14,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Tiny scatter plot for terminal-readable figure reproductions."""
+    import math
+
+    if len(xs) != len(ys) or len(xs) == 0:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    fx = (lambda v: math.log10(max(v, 1e-300))) if logx else float
+    fy = (lambda v: math.log10(max(v, 1e-300))) if logy else float
+    px = [fx(x) for x in xs]
+    py = [fy(y) for y in ys]
+    x_lo, x_hi = min(px), max(px)
+    y_lo, y_hi = min(py), max(py)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(px, py):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    top = f"{max(ys):.3g}"
+    bottom = f"{min(ys):.3g}"
+    lines = [f"{top:>10} |" + "".join(grid[0])]
+    lines += [" " * 10 + "|" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{bottom:>10} |" + "".join(grid[-1]))
+    lines.append(" " * 11 + "-" * width)
+    lines.append(f"{'':>11}{min(xs):<.3g}{'':>{max(width - 16, 1)}}{max(xs):.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``graphs``
+    List the Table-2 proxy registry (paper sizes vs proxy sizes).
+``generate``
+    Build a graph (proxy or named generator) and write it to disk.
+``cluster``
+    Run one local clustering query — the paper's interactive use case —
+    against a proxy or a graph file, printing the cluster and, optionally,
+    the work-depth profile with simulated paper-machine times.
+``ncp``
+    Generate a network community profile (Figure-12 style) as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import ALGORITHMS, cluster_stats, local_cluster, ncp_profile
+from .graph import (
+    PROXIES,
+    grid_3d,
+    load_npz,
+    load_proxy,
+    proxy_names,
+    rand_local,
+    read_adjacency_graph,
+    read_edge_list,
+    rmat,
+    save_npz,
+    write_adjacency_graph,
+    write_edge_list,
+)
+from .runtime import PAPER_MACHINE, track
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(spec: str):
+    """A graph from a proxy name or a file path (by extension)."""
+    if spec in PROXIES:
+        return load_proxy(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(f"error: {spec!r} is neither a proxy name nor a file")
+    if path.suffix == ".npz":
+        return load_npz(path)
+    if path.suffix == ".adj":
+        return read_adjacency_graph(path)
+    return read_edge_list(path)
+
+
+def _cmd_graphs(args: argparse.Namespace) -> int:
+    print(f"{'name':<16} {'paper n':>15} {'paper m':>15} {'proxy family'}")
+    for name in proxy_names():
+        spec = PROXIES[name]
+        print(f"{name:<16} {spec.paper_vertices:>15,} {spec.paper_edges:>15,} {spec.kind}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "proxy":
+        graph = load_proxy(args.name, scale=args.scale, seed=args.seed)
+    elif args.kind == "rand-local":
+        graph = rand_local(args.n, seed=args.seed)
+    elif args.kind == "3d-grid":
+        graph = grid_3d(max(2, round(args.n ** (1 / 3))))
+    elif args.kind == "rmat":
+        graph = rmat(max(3, int(np.ceil(np.log2(max(args.n, 8))))), seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown kind {args.kind!r}")
+    out = Path(args.output)
+    if out.suffix == ".npz":
+        save_npz(graph, out)
+    elif out.suffix == ".adj":
+        write_adjacency_graph(graph, out)
+    else:
+        write_edge_list(graph, out)
+    print(f"wrote {graph!r} to {out}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    overrides = {}
+    for setting in args.param:
+        if "=" not in setting:
+            raise SystemExit(f"error: --param expects key=value, got {setting!r}")
+        key, _, raw = setting.partition("=")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        overrides[key] = value
+    seed = args.seed if args.seed is not None else int(np.argmax(graph.degrees()))
+
+    if args.profile:
+        with track() as tracker:
+            result = local_cluster(graph, seed, method=args.method, rng=args.rng, **overrides)
+    else:
+        result = local_cluster(graph, seed, method=args.method, rng=args.rng, **overrides)
+
+    stats = cluster_stats(graph, result.cluster)
+    print(f"graph: {graph!r}   seed: {seed}   method: {args.method}")
+    print(f"cluster: |S|={stats.size} vol={stats.volume} cut={stats.boundary} "
+          f"phi={stats.conductance:.5f}")
+    print(f"diffusion: support={result.diffusion.support_size()} "
+          f"iterations={result.diffusion.iterations} pushes={result.diffusion.pushes}")
+    shown = ", ".join(map(str, result.cluster[: args.show].tolist()))
+    more = ", ..." if result.size > args.show else ""
+    print(f"members: [{shown}{more}]")
+    if args.profile:
+        t1 = PAPER_MACHINE.simulated_time(tracker, 1)
+        t40 = PAPER_MACHINE.simulated_time_on_cores(tracker, 40)
+        print(f"profile: work={tracker.work:.3g} depth={tracker.depth:.3g} "
+              f"simT1={t1:.4g}s simT40={t40:.4g}s speedup={t1 / t40:.1f}x")
+    return 0
+
+
+def _cmd_ncp(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    profile = ncp_profile(
+        graph,
+        num_seeds=args.seeds,
+        alphas=tuple(args.alpha),
+        eps_values=tuple(args.eps),
+        rng=args.rng,
+    )
+    sizes, phis = profile.series()
+    out = Path(args.output)
+    with out.open("w", encoding="ascii") as handle:
+        handle.write("size,conductance\n")
+        for size, phi in zip(sizes.tolist(), phis.tolist()):
+            handle.write(f"{size},{phi}\n")
+    best = sizes[np.argmin(phis)]
+    print(f"{profile.runs} runs; best cluster: size {best}, phi {phis.min():.4f}")
+    print(f"wrote {len(sizes)} points to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel local graph clustering (Shun et al., VLDB 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("graphs", help="list the Table-2 proxy registry").set_defaults(
+        run=_cmd_graphs
+    )
+
+    generate = commands.add_parser("generate", help="generate a graph and write it to disk")
+    generate.add_argument("kind", choices=["proxy", "rand-local", "3d-grid", "rmat"])
+    generate.add_argument("output", help="output path (.npz, .adj, or edge list)")
+    generate.add_argument("--name", default="soc-LJ", help="proxy name (kind=proxy)")
+    generate.add_argument("--n", type=int, default=10_000, help="vertex count (generators)")
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(run=_cmd_generate)
+
+    cluster = commands.add_parser("cluster", help="run one local clustering query")
+    cluster.add_argument("graph", help="proxy name or graph file")
+    cluster.add_argument("--method", choices=sorted(ALGORITHMS), default="pr-nibble")
+    cluster.add_argument("--seed", type=int, default=None, help="seed vertex (default: max degree)")
+    cluster.add_argument("--rng", type=int, default=0, help="randomness for rand-hk-pr")
+    cluster.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="algorithm parameter override (repeatable), e.g. --param eps=1e-5",
+    )
+    cluster.add_argument("--show", type=int, default=10, help="members to print")
+    cluster.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the work-depth profile and simulated paper-machine times",
+    )
+    cluster.set_defaults(run=_cmd_cluster)
+
+    ncp = commands.add_parser("ncp", help="generate a network community profile CSV")
+    ncp.add_argument("graph", help="proxy name or graph file")
+    ncp.add_argument("output", help="output CSV path")
+    ncp.add_argument("--seeds", type=int, default=25)
+    ncp.add_argument("--alpha", type=float, action="append", default=None)
+    ncp.add_argument("--eps", type=float, action="append", default=None)
+    ncp.add_argument("--rng", type=int, default=0)
+    ncp.set_defaults(run=_cmd_ncp)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "ncp":
+        if args.alpha is None:
+            args.alpha = [0.05, 0.01]
+        if args.eps is None:
+            args.eps = [1e-4, 1e-5]
+    return args.run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Cluster quality metrics: volume, boundary, conductance (paper Section 2).
+
+Definitions (for an undirected graph G with 2m = vol(V)):
+
+* ``vol(S)``   — sum of degrees of the vertices of S;
+* ``∂(S)``     — the set of edges with exactly one endpoint in S;
+* ``φ(S)``     — ``|∂(S)| / min(vol(S), 2m − vol(S))``, *"a widely-used
+  metric to measure cluster quality"*; lower is better.
+
+Figure 1 of the paper works these out on an 8-vertex example
+(:func:`repro.graph.generators.paper_figure1_graph`); the test suite checks
+this module against those hand-computed values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["volume", "boundary_size", "conductance", "ClusterStats", "cluster_stats"]
+
+
+def _as_vertex_array(cluster: np.ndarray) -> np.ndarray:
+    array = np.unique(np.asarray(cluster, dtype=np.int64))
+    if len(array) == 0:
+        raise ValueError("cluster must be non-empty")
+    return array
+
+
+def volume(graph: CSRGraph, cluster: np.ndarray) -> int:
+    """vol(S): total degree of the cluster."""
+    return graph.volume(_as_vertex_array(cluster))
+
+
+def boundary_size(graph: CSRGraph, cluster: np.ndarray) -> int:
+    """|∂(S)|: number of edges leaving the cluster."""
+    vertices = _as_vertex_array(cluster)
+    _, targets = graph.gather_edges(vertices)
+    if len(targets) == 0:
+        return 0
+    inside = np.isin(targets, vertices)
+    return int((~inside).sum())
+
+
+def conductance(graph: CSRGraph, cluster: np.ndarray) -> float:
+    """φ(S) = |∂(S)| / min(vol(S), 2m − vol(S)).
+
+    By convention a cluster whose complement has zero volume (S covers all
+    edges) gets conductance 1.0 — the worst value — so sweeps never select
+    the whole graph.
+    """
+    vertices = _as_vertex_array(cluster)
+    vol = graph.volume(vertices)
+    denominator = min(vol, graph.total_volume - vol)
+    if denominator == 0:
+        return 1.0
+    return boundary_size(graph, vertices) / denominator
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Summary of one cluster: the quantities the paper's tables report."""
+
+    size: int
+    volume: int
+    boundary: int
+    conductance: float
+
+    def __str__(self) -> str:
+        return (
+            f"|S|={self.size} vol={self.volume} cut={self.boundary} "
+            f"phi={self.conductance:.4g}"
+        )
+
+
+def cluster_stats(graph: CSRGraph, cluster: np.ndarray) -> ClusterStats:
+    """Compute all quality metrics of a cluster in one pass."""
+    vertices = _as_vertex_array(cluster)
+    vol = graph.volume(vertices)
+    cut = boundary_size(graph, vertices)
+    denominator = min(vol, graph.total_volume - vol)
+    phi = 1.0 if denominator == 0 else cut / denominator
+    return ClusterStats(size=len(vertices), volume=vol, boundary=cut, conductance=phi)

@@ -1,0 +1,125 @@
+"""Result types returned by the diffusion algorithms and the sweep cut."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..prims.sparse import SparseDict, SparseVector
+
+__all__ = ["DiffusionResult", "SweepResult", "ClusterResult", "vector_items"]
+
+
+def vector_items(vector: "SparseDict | SparseVector | dict") -> tuple[np.ndarray, np.ndarray]:
+    """``(keys, values)`` arrays of any supported sparse-vector type.
+
+    Accepts the dict-backed sequential sparse set, the hash-table-backed
+    parallel sparse set, or a plain ``dict`` — the sweep cut and the tests
+    treat them uniformly.
+    """
+    if isinstance(vector, SparseVector):
+        return vector.items()
+    if isinstance(vector, SparseDict):
+        data = vector.to_dict()
+    elif isinstance(vector, dict):
+        data = vector
+    else:
+        raise TypeError(f"unsupported vector type: {type(vector).__name__}")
+    keys = np.fromiter(data.keys(), dtype=np.int64, count=len(data))
+    values = np.fromiter(data.values(), dtype=np.float64, count=len(data))
+    return keys, values
+
+
+@dataclass
+class DiffusionResult:
+    """Output of one diffusion (Nibble / PR-Nibble / HK-PR / rand-HK-PR).
+
+    Attributes
+    ----------
+    vector:
+        The mass vector ``p`` handed to the sweep cut.
+    iterations:
+        Number of frontier iterations (parallel) or queue pops (sequential
+        Nibble-style loops); the quantity in the paper's Table 1 third
+        column for the parallel algorithms.
+    pushes:
+        Number of push operations performed (Table 1, first two columns).
+        For rand-HK-PR this counts random-walk steps instead.
+    touched_edges:
+        Total edge traversals — the *work* of the diffusion in the paper's
+        locality analysis.
+    extras:
+        Algorithm-specific diagnostics (residual mass, frontier sizes per
+        iteration, ...).
+    """
+
+    vector: SparseDict | SparseVector
+    iterations: int
+    pushes: int
+    touched_edges: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def support_size(self) -> int:
+        """Number of vertices with stored mass."""
+        return self.vector.nnz
+
+
+@dataclass
+class SweepResult:
+    """Full sweep profile: conductance of every prefix of the ordering.
+
+    ``order[i]`` is the vertex of rank i+1 (sorted by non-increasing
+    ``p[v]/d(v)``); ``conductances[i]``, ``volumes[i]`` and ``cuts[i]``
+    describe the prefix set ``{order[0], ..., order[i]}``.
+    """
+
+    order: np.ndarray
+    conductances: np.ndarray
+    volumes: np.ndarray
+    cuts: np.ndarray
+    best_index: int
+
+    @property
+    def best_cluster(self) -> np.ndarray:
+        """The minimum-conductance prefix (the returned cluster)."""
+        return self.order[: self.best_index + 1]
+
+    @property
+    def best_conductance(self) -> float:
+        return float(self.conductances[self.best_index])
+
+    @property
+    def num_candidates(self) -> int:
+        """N — number of vertices with positive mass that were swept."""
+        return len(self.order)
+
+    def __str__(self) -> str:
+        return (
+            f"SweepResult(N={self.num_candidates}, |S*|={self.best_index + 1}, "
+            f"phi*={self.best_conductance:.4g})"
+        )
+
+
+@dataclass
+class ClusterResult:
+    """End-to-end result of diffusion + sweep (the high-level API's output)."""
+
+    cluster: np.ndarray
+    conductance: float
+    algorithm: str
+    params: dict[str, Any]
+    diffusion: DiffusionResult
+    sweep: SweepResult
+
+    @property
+    def size(self) -> int:
+        return len(self.cluster)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: |S|={self.size} phi={self.conductance:.4g} "
+            f"(support={self.diffusion.support_size()}, "
+            f"iterations={self.diffusion.iterations})"
+        )

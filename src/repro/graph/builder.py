@@ -1,0 +1,121 @@
+"""Building :class:`~repro.graph.csr.CSRGraph` instances from edge data.
+
+The paper's experimental setup removes all self and duplicate edges and
+symmetrises directed inputs (Section 4, "Input Graphs"); this module is
+where those normalisations live.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_arrays",
+    "from_edge_list",
+    "from_adjacency",
+    "from_networkx",
+    "edge_arrays_of",
+]
+
+
+def from_edge_arrays(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Build a simple undirected CSR graph from parallel endpoint arrays.
+
+    Symmetrises (each input pair yields both directions), removes
+    self-loops, deduplicates, and sorts every adjacency list.  Isolated
+    vertices are retained when ``num_vertices`` exceeds the largest id.
+    """
+    sources = np.asarray(sources, dtype=np.int64).ravel()
+    targets = np.asarray(targets, dtype=np.int64).ravel()
+    if sources.shape != targets.shape:
+        raise ValueError("sources and targets must have equal length")
+    if len(sources) > 0 and min(sources.min(), targets.min()) < 0:
+        raise ValueError("vertex ids must be non-negative")
+    observed = 0 if len(sources) == 0 else int(max(sources.max(), targets.max())) + 1
+    n = observed if num_vertices is None else int(num_vertices)
+    if n < observed:
+        raise ValueError(f"num_vertices={n} is less than max id + 1 = {observed}")
+
+    keep = sources != targets  # drop self-loops
+    u = sources[keep]
+    v = targets[keep]
+    all_src = np.concatenate([u, v])
+    all_dst = np.concatenate([v, u])
+    if len(all_src) == 0:
+        return CSRGraph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    # Deduplicate via a single 128-bit-safe key sort: n < 2**31 keeps
+    # src * n + dst within int64.
+    if n >= (1 << 31):
+        raise ValueError("graphs with >= 2^31 vertices are not supported")
+    encoded = all_src * np.int64(n) + all_dst
+    unique = np.unique(encoded)
+    dedup_src = unique // n
+    dedup_dst = unique % n
+
+    counts = np.bincount(dedup_src, minlength=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # unique keys are already sorted by (src, dst), so adjacency lists are
+    # sorted and contiguous.
+    return CSRGraph(offsets, dedup_dst.astype(np.int64))
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int]],
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Build a graph from an iterable of ``(u, v)`` pairs."""
+    pairs = list(edges)
+    if not pairs:
+        return from_edge_arrays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), num_vertices
+        )
+    array = np.asarray(pairs, dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError("edges must be (u, v) pairs")
+    return from_edge_arrays(array[:, 0], array[:, 1], num_vertices)
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Sequence[int]],
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Build a graph from ``{vertex: [neighbors...]}``."""
+    sources: list[int] = []
+    targets: list[int] = []
+    for vertex, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            sources.append(int(vertex))
+            targets.append(int(neighbor))
+    return from_edge_arrays(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        num_vertices,
+    )
+
+
+def from_networkx(nx_graph, num_vertices: int | None = None) -> CSRGraph:
+    """Build a graph from a ``networkx`` graph with integer node labels.
+
+    Optional convenience for interoperability; ``networkx`` is imported by
+    the caller, not by this library.
+    """
+    edges = list(nx_graph.edges())
+    n = num_vertices if num_vertices is not None else nx_graph.number_of_nodes()
+    return from_edge_list(edges, num_vertices=n)
+
+
+def edge_arrays_of(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Each undirected edge once, as ``(sources, targets)`` with u < v."""
+    sources, targets = graph.gather_edges(np.arange(graph.num_vertices, dtype=np.int64))
+    forward = sources < targets
+    return sources[forward], targets[forward]

@@ -1,0 +1,146 @@
+"""Compressed-sparse-row graph — the in-memory representation.
+
+All graphs in the paper are undirected and unweighted (Section 2); Ligra
+stores them in CSR so that the edges of a vertex subset can be gathered with
+work proportional to the subset's volume.  :class:`CSRGraph` mirrors that:
+``offsets`` (length n+1) indexes into ``neighbors`` (length 2m, each
+undirected edge stored in both directions).
+
+The key bulk operation is :meth:`CSRGraph.gather_edges`, which materialises
+the ``(source, destination)`` pairs of all edges incident to a frontier in
+O(volume) work and O(log volume) depth — exactly the cost Ligra's
+``edgeMap`` is charged in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..prims.scan import exclusive_prefix_sum
+from ..runtime import log2ceil, record
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Undirected, unweighted graph in compressed-sparse-row form.
+
+    Build instances with :mod:`repro.graph.builder` (which symmetrises,
+    deduplicates and removes self-loops) or a generator from
+    :mod:`repro.graph.generators`; the constructor itself only validates
+    structural consistency of pre-built arrays.
+    """
+
+    __slots__ = ("offsets", "neighbors")
+
+    def __init__(self, offsets: np.ndarray, neighbors: np.ndarray) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        if offsets.ndim != 1 or neighbors.ndim != 1:
+            raise ValueError("offsets and neighbors must be 1-D arrays")
+        if len(offsets) == 0 or offsets[0] != 0:
+            raise ValueError("offsets must start with 0")
+        if offsets[-1] != len(neighbors):
+            raise ValueError("offsets must end at len(neighbors)")
+        if len(offsets) > 1 and (np.diff(offsets) < 0).any():
+            raise ValueError("offsets must be non-decreasing")
+        if len(neighbors) > 0 and (neighbors.min() < 0 or neighbors.max() >= len(offsets) - 1):
+            raise ValueError("neighbor ids out of range")
+        self.offsets = offsets
+        self.neighbors = neighbors
+
+    # ------------------------------------------------------------------
+    # Sizes (paper notation: n = |V|, m = |E| undirected, vol(V) = 2m)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """n — number of vertices."""
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """m — number of *undirected* edges."""
+        return len(self.neighbors) // 2
+
+    @property
+    def total_volume(self) -> int:
+        """vol(V) = 2m — the sum of all degrees."""
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Degrees and adjacency
+    # ------------------------------------------------------------------
+    def degree(self, vertex: int) -> int:
+        """d(v) — number of edges incident on ``vertex``."""
+        return int(self.offsets[vertex + 1] - self.offsets[vertex])
+
+    def degrees(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        """Degrees of ``vertices`` (or of every vertex when omitted)."""
+        if vertices is None:
+            return np.diff(self.offsets)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return self.offsets[vertices + 1] - self.offsets[vertices]
+
+    def neighbors_of(self, vertex: int) -> np.ndarray:
+        """Read-only view of the adjacency list of ``vertex``."""
+        return self.neighbors[self.offsets[vertex] : self.offsets[vertex + 1]]
+
+    def volume(self, vertices: np.ndarray) -> int:
+        """vol(S) — sum of degrees over the vertex set ``vertices``."""
+        return int(self.degrees(np.asarray(vertices, dtype=np.int64)).sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search (adjacency lists are sorted)."""
+        adjacency = self.neighbors_of(u)
+        position = np.searchsorted(adjacency, v)
+        return bool(position < len(adjacency) and adjacency[position] == v)
+
+    # ------------------------------------------------------------------
+    # Bulk edge gather (the engine under edgeMap)
+    # ------------------------------------------------------------------
+    def gather_edges(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All directed edges leaving ``vertices`` as ``(sources, targets)``.
+
+        Work O(|vertices| + vol(vertices)), depth O(log vol): per-vertex
+        degrees are scanned into write offsets and every edge slot is filled
+        independently — the data-parallel edge gather Ligra performs inside
+        ``edgeMap``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        degs = self.degrees(vertices)
+        starts, total = exclusive_prefix_sum(degs)
+        total = int(total)
+        record(work=len(vertices) + total, depth=log2ceil(max(total, 1)), category="edge_map")
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        slot = np.arange(total, dtype=np.int64)
+        per_vertex_base = np.repeat(self.offsets[vertices], degs)
+        within = slot - np.repeat(starts, degs)
+        sources = np.repeat(vertices, degs)
+        targets = self.neighbors[per_vertex_base + within]
+        return sources, targets
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests and the builder)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise ``ValueError`` unless the graph is simple and symmetric."""
+        n = self.num_vertices
+        for vertex in range(n):
+            adjacency = self.neighbors_of(vertex)
+            if len(adjacency) > 1 and (np.diff(adjacency) <= 0).any():
+                raise ValueError(f"adjacency of {vertex} not strictly increasing")
+            if (adjacency == vertex).any():
+                raise ValueError(f"self-loop at {vertex}")
+        sources, targets = self.gather_edges(np.arange(n, dtype=np.int64))
+        forward = set(zip(sources.tolist(), targets.tolist()))
+        for u, v in forward:
+            if (v, u) not in forward:
+                raise ValueError(f"edge ({u}, {v}) missing its reverse")

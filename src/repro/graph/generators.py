@@ -1,0 +1,339 @@
+"""Graph generators: the paper's synthetic inputs plus proxy families.
+
+Two generators come straight from Section 4 ("Input Graphs"):
+
+* ``randLocal`` — "a random graph where every vertex has five edges to
+  neighbors chosen with probability proportional to the difference in the
+  neighbor's ID value from the vertex's ID".  As in the PBBS generator this
+  describes, the bias *favours nearby ids* (probability inversely
+  proportional to the id distance) — that locality is what gives the graph
+  good small clusters.
+* ``3D-grid`` — "a synthetic grid graph in 3-dimensional space where every
+  vertex has six edges, each connecting it to its 2 neighbors in each
+  dimension" (a 3-torus, so the graph is 6-regular).
+
+The remaining generators build the scaled-down *proxies* for the paper's
+real-world inputs (see :mod:`repro.graph.proxies`): R-MAT for heavy-tailed
+degree structure, a power-law community model for social networks (the
+source of the NCP dip in Figure 12), a citation-style copying model, and
+classic small graphs for tests, including the exact worked example of the
+paper's Figure 1.
+
+All randomness flows through an explicit ``numpy.random.Generator`` seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import from_edge_arrays, from_edge_list
+from .csr import CSRGraph
+
+__all__ = [
+    "rand_local",
+    "grid_3d",
+    "rmat",
+    "erdos_renyi",
+    "planted_partition",
+    "power_law_communities",
+    "citation_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "barbell_graph",
+    "paper_figure1_graph",
+]
+
+
+def _rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# The paper's own synthetic generators
+# ----------------------------------------------------------------------
+def rand_local(n: int, edges_per_vertex: int = 5, seed: int | np.random.Generator = 0) -> CSRGraph:
+    """The paper's ``randLocal`` graph (Section 4).
+
+    Each vertex draws ``edges_per_vertex`` neighbors with probability
+    biased towards nearby vertex ids: the id distance is sampled
+    log-uniformly, giving density roughly proportional to ``1/distance``.
+    After symmetrisation and deduplication the average degree is a little
+    under ``2 * edges_per_vertex`` (the paper's instance: n = 10^7 with
+    49.1M unique undirected edges from 5 picks per vertex).
+    """
+    if n < 2:
+        raise ValueError("rand_local needs at least 2 vertices")
+    rng = _rng(seed)
+    picks = n * edges_per_vertex
+    sources = np.repeat(np.arange(n, dtype=np.int64), edges_per_vertex)
+    # Log-uniform distance in [1, n-1]: P(distance = d) ~ 1/d.
+    distance = np.exp(rng.random(picks) * np.log(n - 1)).astype(np.int64)
+    distance = np.clip(distance, 1, n - 1)
+    sign = rng.integers(0, 2, size=picks) * 2 - 1
+    targets = (sources + sign * distance) % n
+    return from_edge_arrays(sources, targets, num_vertices=n)
+
+
+def grid_3d(side: int, torus: bool = True) -> CSRGraph:
+    """The paper's ``3D-grid`` graph: ``side**3`` vertices, 6-regular torus.
+
+    With ``torus=False`` boundary vertices simply lack the wrapped edges
+    (useful for small tests).
+    """
+    if side < 2:
+        raise ValueError("grid_3d needs side >= 2")
+    n = side**3
+    coords = np.arange(n, dtype=np.int64)
+    x = coords % side
+    y = (coords // side) % side
+    z = coords // (side * side)
+
+    sources = []
+    targets = []
+    for axis_value, stride in ((x, 1), (y, side), (z, side * side)):
+        forward = axis_value + 1
+        if torus:
+            wrapped = coords + stride * (np.where(forward == side, 1 - side, 1))
+            sources.append(coords)
+            targets.append(wrapped)
+        else:
+            interior = forward < side
+            sources.append(coords[interior])
+            targets.append(coords[interior] + stride)
+    return from_edge_arrays(np.concatenate(sources), np.concatenate(targets), num_vertices=n)
+
+
+# ----------------------------------------------------------------------
+# Proxy families for the paper's real-world graphs
+# ----------------------------------------------------------------------
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """R-MAT graph with ``2**scale`` vertices and heavy-tailed degrees.
+
+    The standard recursive-quadrant sampler (Graph500 defaults
+    ``a=0.57, b=0.19, c=0.19, d=0.05``); used as the proxy family for the
+    Twitter / friendster / Web crawls, whose skewed degree distributions
+    drive the frontier sizes in the paper's scaling experiments.
+    """
+    if not 0 < a + b + c < 1:
+        raise ValueError("quadrant probabilities must leave d = 1-a-b-c > 0")
+    rng = _rng(seed)
+    n = 1 << scale
+    num_edges = n * edge_factor
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(scale):
+        rows <<= 1
+        cols <<= 1
+        draw = rng.random(num_edges)
+        # Quadrants: (0,0) w.p. a; (0,1) w.p. b; (1,0) w.p. c; (1,1) w.p. d.
+        right = ((draw >= a) & (draw < a + b)) | (draw >= a + b + c)
+        down = draw >= a + b
+        cols += right
+        rows += down
+    return from_edge_arrays(rows, cols, num_vertices=n)
+
+
+def erdos_renyi(n: int, num_edges: int, seed: int | np.random.Generator = 0) -> CSRGraph:
+    """G(n, m)-style random graph: ``num_edges`` uniform endpoint pairs."""
+    rng = _rng(seed)
+    sources = rng.integers(0, n, size=num_edges, dtype=np.int64)
+    targets = rng.integers(0, n, size=num_edges, dtype=np.int64)
+    return from_edge_arrays(sources, targets, num_vertices=n)
+
+
+def planted_partition(
+    n: int,
+    num_communities: int,
+    intra_degree: float,
+    inter_degree: float,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """Equal-size planted-partition graph (stochastic block model).
+
+    Each vertex gets ~``intra_degree`` edges inside its community and
+    ~``inter_degree`` edges to uniform random vertices.  With
+    ``intra_degree >> inter_degree`` every community is a low-conductance
+    cluster — the ground truth used by the end-to-end recovery tests
+    ("if there exists a cluster S with conductance phi and one picks a
+    starting vertex in S then the algorithm returns a cluster...").
+    """
+    if n % num_communities != 0:
+        raise ValueError("n must be divisible by num_communities")
+    rng = _rng(seed)
+    size = n // num_communities
+    num_intra = int(round(n * intra_degree / 2))
+    num_inter = int(round(n * inter_degree / 2))
+
+    community = rng.integers(0, num_communities, size=num_intra, dtype=np.int64)
+    intra_u = community * size + rng.integers(0, size, size=num_intra, dtype=np.int64)
+    intra_v = community * size + rng.integers(0, size, size=num_intra, dtype=np.int64)
+    inter_u = rng.integers(0, n, size=num_inter, dtype=np.int64)
+    inter_v = rng.integers(0, n, size=num_inter, dtype=np.int64)
+    return from_edge_arrays(
+        np.concatenate([intra_u, inter_u]),
+        np.concatenate([intra_v, inter_v]),
+        num_vertices=n,
+    )
+
+
+def power_law_communities(
+    n: int,
+    intra_degree: float = 8.0,
+    inter_degree: float = 4.0,
+    min_size: int = 8,
+    max_size: int = 2048,
+    size_exponent: float = 1.8,
+    density_decay: float = 0.0,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """Social-network proxy: power-law community sizes + R-MAT-style glue.
+
+    Community sizes follow a truncated Pareto law (exponent
+    ``size_exponent``); inside each community vertices receive
+    ~``intra_degree`` uniform edges; across communities an R-MAT-like
+    skewed sampler contributes ~``inter_degree`` per vertex, producing the
+    heavy-tailed global degree distribution of graphs like soc-LiveJournal
+    and com-Orkut.  The small dense communities are exactly the
+    low-conductance clusters of size 10-100 behind the NCP dip the paper
+    reproduces from Leskovec et al.
+
+    ``density_decay`` scales a community's internal degree by
+    ``(min_size / size) ** density_decay``: with a positive decay, larger
+    communities are internally sparser — the well-documented property of
+    real social networks that makes their NCP *rise* again past the dip
+    (big "communities" blend into the expander core).  Zero keeps uniform
+    density, in which case community conductance is size-independent.
+    """
+    if density_decay < 0.0:
+        raise ValueError("density_decay must be non-negative")
+    rng = _rng(seed)
+    sizes: list[int] = []
+    total = 0
+    while total < n:
+        draw = min_size * (1.0 - rng.random()) ** (-1.0 / (size_exponent - 1.0))
+        size = int(min(max(draw, min_size), max_size, n - total))
+        sizes.append(size)
+        total += size
+
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+
+    # Intra-community edges: per-vertex budget proportional to community
+    # size, discounted for large communities by the density decay.
+    density = (min_size / sizes_arr.astype(np.float64)) ** density_decay
+    intra_per_comm = np.maximum(
+        (sizes_arr * density * intra_degree / 2).astype(np.int64), 1
+    )
+    comm_of_edge = np.repeat(np.arange(len(sizes), dtype=np.int64), intra_per_comm)
+    edge_start = starts[comm_of_edge]
+    edge_size = sizes_arr[comm_of_edge]
+    intra_u = edge_start + (rng.random(len(comm_of_edge)) * edge_size).astype(np.int64)
+    intra_v = edge_start + (rng.random(len(comm_of_edge)) * edge_size).astype(np.int64)
+
+    # Inter-community edges: skewed endpoints (squared uniform favours low
+    # ids, i.e. the big communities' hubs), then a random id permutation
+    # below removes any id-ordering artifact.
+    num_inter = int(round(n * inter_degree / 2))
+    inter_u = (rng.random(num_inter) ** 2 * n).astype(np.int64)
+    inter_v = (rng.random(num_inter) * n).astype(np.int64)
+
+    sources = np.concatenate([intra_u, inter_u])
+    targets = np.concatenate([intra_v, inter_v])
+    permutation = rng.permutation(n).astype(np.int64)
+    return from_edge_arrays(permutation[sources], permutation[targets], num_vertices=n)
+
+
+def citation_graph(
+    n: int,
+    references_per_vertex: int = 5,
+    skew: float = 2.0,
+    seed: int | np.random.Generator = 0,
+) -> CSRGraph:
+    """Citation-network proxy (cit-Patents): a copying/recency model.
+
+    Vertex ``i`` cites ``references_per_vertex`` earlier vertices with a
+    bias towards early (already highly cited) vertices: target
+    ``floor(i * U**skew)``.  Produces a sparse, DAG-like topology with a
+    few heavily cited hubs, like patent citation networks.
+    """
+    rng = _rng(seed)
+    sources = np.repeat(np.arange(1, n, dtype=np.int64), references_per_vertex)
+    draw = rng.random(len(sources)) ** skew
+    targets = (sources.astype(np.float64) * draw).astype(np.int64)
+    return from_edge_arrays(sources, targets, num_vertices=n)
+
+
+# ----------------------------------------------------------------------
+# Small deterministic graphs (tests and documentation examples)
+# ----------------------------------------------------------------------
+def path_graph(n: int) -> CSRGraph:
+    """Path 0 - 1 - ... - (n-1)."""
+    vertices = np.arange(n - 1, dtype=np.int64)
+    return from_edge_arrays(vertices, vertices + 1, num_vertices=n)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle_graph needs n >= 3")
+    vertices = np.arange(n, dtype=np.int64)
+    return from_edge_arrays(vertices, (vertices + 1) % n, num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Clique on ``n`` vertices."""
+    grid_u, grid_v = np.triu_indices(n, k=1)
+    return from_edge_arrays(grid_u.astype(np.int64), grid_v.astype(np.int64), num_vertices=n)
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star: vertex 0 joined to vertices 1..n-1."""
+    spokes = np.arange(1, n, dtype=np.int64)
+    return from_edge_arrays(np.zeros(n - 1, dtype=np.int64), spokes, num_vertices=n)
+
+
+def barbell_graph(clique_size: int) -> CSRGraph:
+    """Two ``clique_size``-cliques joined by a single bridge edge.
+
+    The bridge is the unique minimum-conductance cut, a convenient ground
+    truth for sweep-cut tests.
+    """
+    k = clique_size
+    left_u, left_v = np.triu_indices(k, k=1)
+    right_u = left_u + k
+    right_v = left_v + k
+    sources = np.concatenate([left_u, right_u, [k - 1]]).astype(np.int64)
+    targets = np.concatenate([left_v, right_v, [k]]).astype(np.int64)
+    return from_edge_arrays(sources, targets, num_vertices=2 * k)
+
+
+def paper_figure1_graph() -> CSRGraph:
+    """The example graph of the paper's Figure 1 (n = 8, m = 8).
+
+    Vertices A..H map to 0..7.  The nested clusters have the conductances
+    listed in the figure: phi({A}) = 1, phi({A,B}) = 1/2,
+    phi({A,B,C}) = 1/7, phi({A,B,C,D}) = 3/5 — with the sweep ordering
+    {A, B, C, D} the sweep cut must return {A, B, C}.
+    """
+    edges = [
+        (0, 1),  # A-B
+        (0, 2),  # A-C
+        (1, 2),  # B-C
+        (2, 3),  # C-D
+        (3, 4),  # D-E
+        (3, 5),  # D-F
+        (3, 6),  # D-G
+        (6, 7),  # G-H
+    ]
+    return from_edge_list(edges, num_vertices=8)

@@ -1,0 +1,104 @@
+"""Graph serialisation: SNAP edge lists, Ligra AdjacencyGraph, NumPy binary.
+
+The paper's inputs come from SNAP (http://snap.stanford.edu) as whitespace
+edge lists with ``#`` comment headers, and its implementations live in the
+Ligra framework, whose on-disk format is the ``AdjacencyGraph`` text layout
+(header line, n, m, n offsets, m targets).  Both are supported here, plus a
+compressed ``.npz`` format for fast round-trips in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .builder import edge_arrays_of, from_edge_arrays
+from .csr import CSRGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_adjacency_graph",
+    "read_adjacency_graph",
+    "save_npz",
+    "load_npz",
+]
+
+
+def write_edge_list(graph: CSRGraph, path: str | Path, comment: str | None = None) -> None:
+    """Write a SNAP-style edge list (each undirected edge once, tab separated)."""
+    sources, targets = edge_arrays_of(graph)
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# Nodes: {graph.num_vertices} Edges: {graph.num_edges}\n")
+        for u, v in zip(sources.tolist(), targets.tolist()):
+            handle.write(f"{u}\t{v}\n")
+
+
+def read_edge_list(path: str | Path, num_vertices: int | None = None) -> CSRGraph:
+    """Read a SNAP-style edge list (``#`` comments ignored, any whitespace)."""
+    sources: list[int] = []
+    targets: list[int] = []
+    with Path(path).open("r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+    return from_edge_arrays(
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+        num_vertices=num_vertices,
+    )
+
+
+def write_adjacency_graph(graph: CSRGraph, path: str | Path) -> None:
+    """Write Ligra's text ``AdjacencyGraph`` format.
+
+    Layout: the literal header ``AdjacencyGraph``, then ``n``, then the
+    directed edge count ``2m``, then ``n`` offsets, then ``2m`` targets,
+    one value per line.
+    """
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        handle.write("AdjacencyGraph\n")
+        handle.write(f"{graph.num_vertices}\n")
+        handle.write(f"{graph.total_volume}\n")
+        np.savetxt(handle, graph.offsets[:-1], fmt="%d")
+        np.savetxt(handle, graph.neighbors, fmt="%d")
+
+
+def read_adjacency_graph(path: str | Path) -> CSRGraph:
+    """Read Ligra's text ``AdjacencyGraph`` format."""
+    with Path(path).open("r", encoding="ascii") as handle:
+        header = handle.readline().strip()
+        if header != "AdjacencyGraph":
+            raise ValueError(f"not an AdjacencyGraph file (header {header!r})")
+        n = int(handle.readline())
+        directed_edges = int(handle.readline())
+        values = np.loadtxt(handle, dtype=np.int64, ndmin=1)
+    if len(values) != n + directed_edges:
+        raise ValueError("AdjacencyGraph length mismatch")
+    offsets = np.empty(n + 1, dtype=np.int64)
+    offsets[:n] = values[:n]
+    offsets[n] = directed_edges
+    return CSRGraph(offsets, values[n:])
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Binary round-trip format (compressed ``.npz``)."""
+    np.savez_compressed(Path(path), offsets=graph.offsets, neighbors=graph.neighbors)
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return CSRGraph(data["offsets"], data["neighbors"])

@@ -1,0 +1,87 @@
+"""``vertexSubset`` — Ligra's representation of an active vertex set.
+
+Section 2 ("Ligra Framework"): *Ligra provides a vertexSubset data
+structure used for representing a subset of the vertices*.  The defining
+property for local algorithms is that a vertexSubset costs O(|subset|)
+space and the operators over it cost work proportional to the subset (and
+its edges), never to |V|.
+
+Vertices are kept as a sorted, deduplicated int64 array; sorting gives the
+bulk operators a deterministic processing order (useful for reproducible
+floating-point sums) without changing the set semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["VertexSubset"]
+
+
+class VertexSubset:
+    """An immutable sparse set of vertex ids."""
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: np.ndarray) -> None:
+        array = np.unique(np.asarray(vertices, dtype=np.int64))
+        if len(array) > 0 and array[0] < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self.vertices = array
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "VertexSubset":
+        return cls(np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def single(cls, vertex: int) -> "VertexSubset":
+        """The paper's usual starting frontier: just the seed vertex."""
+        return cls(np.asarray([vertex], dtype=np.int64))
+
+    @classmethod
+    def of(cls, *vertices: int) -> "VertexSubset":
+        return cls(np.asarray(vertices, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Set interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def is_empty(self) -> bool:
+        return len(self.vertices) == 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.vertices.tolist())
+
+    def __contains__(self, vertex: int) -> bool:
+        position = np.searchsorted(self.vertices, vertex)
+        return bool(position < len(self.vertices) and self.vertices[position] == vertex)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexSubset):
+            return NotImplemented
+        return np.array_equal(self.vertices, other.vertices)
+
+    def __hash__(self) -> int:  # subsets are immutable value objects
+        return hash(self.vertices.tobytes())
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(str, self.vertices[:8].tolist()))
+        suffix = ", ..." if len(self.vertices) > 8 else ""
+        return f"VertexSubset([{preview}{suffix}], size={len(self)})"
+
+    def union(self, other: "VertexSubset") -> "VertexSubset":
+        return VertexSubset(np.concatenate([self.vertices, other.vertices]))
+
+    def where(self, mask: np.ndarray) -> "VertexSubset":
+        """Subset of this subset selected by a boolean mask (a filter)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.vertices.shape:
+            raise ValueError("mask must have one flag per vertex")
+        return VertexSubset(self.vertices[mask])

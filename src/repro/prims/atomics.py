@@ -1,0 +1,65 @@
+"""Batched analogues of the paper's atomic operations.
+
+Section 2 ("Atomic Operations") defines compare-and-swap and fetch-and-add;
+the parallel algorithms resolve concurrent updates to the ``p``/``r``
+vectors with fetch-and-add.  In a data-parallel (bulk-synchronous)
+realisation, a *round* of concurrent fetch-and-adds to an array is exactly
+``np.add.at``: every update lands, duplicates accumulate, and the result is
+independent of ordering because addition is commutative — the same
+correctness argument the paper makes for its lock-free implementation.
+
+The paper notes a fetch-and-add can be simulated in linear work and
+logarithmic depth in the number of updates; the recorded costs charge that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..runtime import log2ceil, record
+
+__all__ = ["fetch_and_add", "compare_and_swap", "combine_duplicates"]
+
+
+def fetch_and_add(target: np.ndarray, indices: np.ndarray, deltas: np.ndarray | float) -> None:
+    """Apply a round of concurrent ``target[indices[i]] += deltas[i]``.
+
+    Duplicate indices accumulate, exactly as colliding hardware
+    fetch-and-adds would.
+    """
+    indices = np.asarray(indices)
+    record(work=len(indices), depth=log2ceil(len(indices)), category="edge_map")
+    np.add.at(target, indices, deltas)
+
+
+def compare_and_swap(target: np.ndarray, index: int, expected: float, new: float) -> bool:
+    """Scalar compare-and-swap with the hardware-instruction contract.
+
+    Provided for completeness (the concurrent hash table of [42] builds on
+    CAS); the vectorised table in :mod:`repro.prims.hashtable` realises the
+    same retry loop in batch form.
+    """
+    if target[index] == expected:
+        target[index] = new
+        return True
+    return False
+
+
+def combine_duplicates(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Aggregate ``values`` by duplicate ``keys``: returns unique keys + sums.
+
+    This is the deterministic pre-combining of a round of fetch-and-adds
+    destined for a sparse set: instead of racing on table slots, colliding
+    updates are summed first (a sort + segmented reduction, O(N) work with
+    integer keys, O(log N) depth), then applied once per distinct key.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.shape[0] != values.shape[0]:
+        raise ValueError("keys and values must have equal length")
+    if len(keys) == 0:
+        return keys.copy(), values.copy()
+    record(work=len(keys), depth=log2ceil(len(keys)), category="edge_map")
+    unique, inverse = np.unique(keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=values, minlength=len(unique))
+    return unique, sums

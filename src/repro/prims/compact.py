@@ -1,0 +1,57 @@
+"""Filter / pack — the second basic parallel primitive of the paper.
+
+Section 2: *filter takes an array X of length N and a predicate f, and
+returns an array containing the elements for which f is true, in the same
+order; it can be implemented with prefix sum in O(N) work and O(log N)
+depth*.  Every frontier update in the clustering algorithms ("Frontier =
+{v | r[v] >= eps*d(v)}, using filter") goes through this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..runtime import log2ceil, record
+
+__all__ = ["pack", "pack_index", "filter_array"]
+
+
+def pack(values: np.ndarray, flags: np.ndarray) -> np.ndarray:
+    """Keep ``values[i]`` where ``flags[i]`` is true, preserving order.
+
+    >>> pack(np.array([10, 20, 30]), np.array([True, False, True]))
+    array([10, 30])
+    """
+    values = np.asarray(values)
+    flags = np.asarray(flags, dtype=bool)
+    if values.shape[0] != flags.shape[0]:
+        raise ValueError("values and flags must have equal length")
+    record(work=len(values), depth=log2ceil(len(values)), category="filter")
+    return values[flags]
+
+
+def pack_index(flags: np.ndarray) -> np.ndarray:
+    """Indices at which ``flags`` is true, in increasing order.
+
+    The parallel rand-HK-PR aggregation uses this to find the boundaries
+    between runs of equal values in the sorted destination array (the
+    ``B[i] = i`` / ``B[i] = -1`` construction in Section 3.5).
+    """
+    flags = np.asarray(flags, dtype=bool)
+    record(work=len(flags), depth=log2ceil(len(flags)), category="filter")
+    return np.flatnonzero(flags)
+
+
+def filter_array(values: np.ndarray, predicate: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """Filter with a vectorised predicate: ``values[predicate(values)]``.
+
+    ``predicate`` receives the whole array and must return a boolean mask —
+    the data-parallel form of the paper's element-wise predicate ``f``.
+    """
+    values = np.asarray(values)
+    mask = np.asarray(predicate(values), dtype=bool)
+    if mask.shape != values.shape:
+        raise ValueError("predicate must return one flag per element")
+    return pack(values, mask)

@@ -1,0 +1,177 @@
+"""Work-depth accounting for parallel algorithm analysis.
+
+The paper analyses every algorithm in the *work-depth model* (Section 2):
+*work* is the total number of operations (equal to sequential running time)
+and *depth* is the length of the longest chain of sequential dependencies.
+By Brent's theorem an algorithm with work ``W`` and depth ``D`` runs in
+``W/P + D`` time on ``P`` processors.
+
+This module provides the instrumentation half of that model.  Every parallel
+primitive in :mod:`repro.prims`, every Ligra operator in :mod:`repro.ligra`
+and every algorithm in :mod:`repro.core` calls :func:`record` with the work
+and depth it contributes, tagged with a *category* (``"edge_map"``,
+``"sort"``, ``"hash"``, ...).  Categories matter because different kinds of
+operations saturate a real multicore differently: a batch of scattered
+fetch-and-adds contends on memory far more than independent random walks.
+The companion :mod:`repro.runtime.machine` module turns a recorded profile
+into simulated multicore running times.
+
+Recording is active only inside a :func:`track` context; outside it,
+:func:`record` is a no-op, so production use of the library pays only a
+cheap context-variable lookup.
+
+Example
+-------
+>>> from repro.runtime import track, record
+>>> with track() as tracker:
+...     record(work=100, depth=5, category="scan")
+>>> tracker.work
+100.0
+>>> tracker.depth
+5.0
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "CategoryCost",
+    "WorkDepthTracker",
+    "track",
+    "record",
+    "current_tracker",
+    "log2ceil",
+]
+
+
+def log2ceil(n: float) -> float:
+    """Return ``ceil(log2(n))`` for ``n >= 1``, and ``0`` otherwise.
+
+    Used throughout as the depth contribution of an ``N``-element parallel
+    primitive (prefix sum, filter, sort), matching the ``O(log N)`` depth
+    bounds the paper charges for them.
+    """
+    if n <= 1:
+        return 0.0
+    return float(math.ceil(math.log2(n)))
+
+
+@dataclass
+class CategoryCost:
+    """Accumulated work and depth for one category of operations."""
+
+    work: float = 0.0
+    depth: float = 0.0
+
+    def add(self, work: float, depth: float) -> None:
+        self.work += work
+        self.depth += depth
+
+
+@dataclass
+class WorkDepthTracker:
+    """Accumulates a (work, depth) profile for a region of computation.
+
+    Depth accumulates additively: the algorithms in this library are
+    bulk-synchronous (a sequence of parallel rounds separated by barriers),
+    so the critical path is the sum of the per-round depths.
+
+    Attributes
+    ----------
+    work:
+        Total operations recorded (the paper's ``W``).
+    depth:
+        Total critical-path length recorded (the paper's ``D``).
+    by_category:
+        Per-category breakdown, used by
+        :class:`repro.runtime.machine.MachineModel` to apply per-category
+        memory-contention coefficients.
+    rounds:
+        Number of parallel rounds (records with nonzero depth); a useful
+        proxy for the number of frontier iterations an algorithm executed.
+    """
+
+    work: float = 0.0
+    depth: float = 0.0
+    by_category: dict[str, CategoryCost] = field(default_factory=dict)
+    rounds: int = 0
+
+    def record(self, work: float, depth: float = 0.0, category: str = "misc") -> None:
+        """Add ``work`` operations with critical path ``depth`` to ``category``."""
+        if work < 0 or depth < 0:
+            raise ValueError("work and depth must be non-negative")
+        self.work += work
+        self.depth += depth
+        if depth > 0:
+            self.rounds += 1
+        cost = self.by_category.get(category)
+        if cost is None:
+            cost = CategoryCost()
+            self.by_category[category] = cost
+        cost.add(work, depth)
+
+    def merge(self, other: "WorkDepthTracker") -> None:
+        """Fold another tracker's profile into this one (sequential composition)."""
+        self.work += other.work
+        self.depth += other.depth
+        self.rounds += other.rounds
+        for category, cost in other.by_category.items():
+            self.record_category(category, cost.work, cost.depth)
+
+    def record_category(self, category: str, work: float, depth: float) -> None:
+        """Merge raw totals into a category without counting a round."""
+        self.work += 0.0  # totals were already folded by merge()
+        cost = self.by_category.get(category)
+        if cost is None:
+            cost = CategoryCost()
+            self.by_category[category] = cost
+        cost.add(work, depth)
+
+    def snapshot(self) -> dict[str, tuple[float, float]]:
+        """Return ``{category: (work, depth)}`` for reporting."""
+        return {name: (cost.work, cost.depth) for name, cost in self.by_category.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"WorkDepthTracker(work={self.work:.3g}, depth={self.depth:.3g}, "
+            f"rounds={self.rounds}, categories={sorted(self.by_category)})"
+        )
+
+
+_CURRENT: ContextVar[WorkDepthTracker | None] = ContextVar("repro_tracker", default=None)
+
+
+def current_tracker() -> WorkDepthTracker | None:
+    """Return the tracker active in this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def record(work: float, depth: float = 0.0, category: str = "misc") -> None:
+    """Record cost against the active tracker; no-op when none is active."""
+    tracker = _CURRENT.get()
+    if tracker is not None:
+        tracker.record(work, depth, category)
+
+
+@contextmanager
+def track() -> Iterator[WorkDepthTracker]:
+    """Context manager activating a fresh :class:`WorkDepthTracker`.
+
+    Nested ``track()`` regions each see their own tracker; the inner profile
+    is *also* folded into the outer tracker on exit, so a caller profiling a
+    whole experiment still sees costs recorded inside nested regions.
+    """
+    outer = _CURRENT.get()
+    tracker = WorkDepthTracker()
+    token = _CURRENT.set(tracker)
+    try:
+        yield tracker
+    finally:
+        _CURRENT.reset(token)
+        if outer is not None:
+            outer.merge(tracker)

@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "stopwatch", "time_call"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed wall-clock seconds across start/stop cycles."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Context manager measuring the wall-clock time of its body."""
+    watch = Stopwatch()
+    watch.start()
+    try:
+        yield watch
+    finally:
+        if watch._started_at is not None:
+            watch.stop()
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

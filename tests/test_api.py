@@ -1,0 +1,82 @@
+"""Tests for the high-level API (repro.core.api)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LocalClusterer, local_cluster
+from repro.core import ALGORITHMS
+from repro.core.quality import cluster_stats
+
+
+class TestLocalCluster:
+    @pytest.mark.parametrize("method", sorted(ALGORITHMS))
+    def test_every_method_finds_barbell_clique(self, barbell, method):
+        overrides = {"eps": 1e-5} if method in ("nibble", "pr-nibble") else {}
+        result = local_cluster(barbell, 0, method=method, **overrides)
+        assert sorted(result.cluster.tolist()) == list(range(10))
+        assert result.conductance == pytest.approx(1 / 91)
+        assert result.algorithm == method
+        assert result.size == 10
+
+    def test_reported_conductance_is_consistent(self, planted):
+        result = local_cluster(planted, 0, method="pr-nibble", eps=1e-5)
+        stats = cluster_stats(planted, result.cluster)
+        assert stats.conductance == pytest.approx(result.conductance)
+
+    def test_unknown_method_rejected(self, barbell):
+        with pytest.raises(ValueError, match="unknown method"):
+            local_cluster(barbell, 0, method="spectral")
+
+    def test_bad_param_override_raises(self, barbell):
+        with pytest.raises(TypeError):
+            local_cluster(barbell, 0, method="pr-nibble", nonsense=3)
+
+    def test_sequential_mode(self, barbell):
+        result = local_cluster(barbell, 0, method="nibble", parallel=False, eps=1e-5)
+        assert sorted(result.cluster.tolist()) == list(range(10))
+
+    def test_param_overrides_propagate(self, planted):
+        result = local_cluster(planted, 0, method="pr-nibble", alpha=0.2, eps=1e-4)
+        assert result.params["alpha"] == 0.2
+        assert result.params["eps"] == 1e-4
+
+    def test_cluster_sorted_by_vertex_id(self, planted):
+        result = local_cluster(planted, 0, method="pr-nibble", eps=1e-5)
+        assert np.array_equal(result.cluster, np.sort(result.cluster))
+
+    def test_multi_seed(self, planted):
+        result = local_cluster(planted, np.array([0, 1]), method="hk-pr", t=5.0, eps=1e-4)
+        assert result.size >= 1
+
+    def test_str(self, barbell):
+        result = local_cluster(barbell, 0, method="pr-nibble", eps=1e-5)
+        assert "pr-nibble" in str(result)
+        assert "phi=" in str(result)
+
+    def test_rng_controls_randomized_method(self, planted):
+        a = local_cluster(planted, 0, method="rand-hk-pr", rng=5, num_walks=2000)
+        b = local_cluster(planted, 0, method="rand-hk-pr", rng=5, num_walks=2000)
+        assert np.array_equal(a.cluster, b.cluster)
+
+
+class TestLocalClusterer:
+    def test_all_methods(self, barbell):
+        clusterer = LocalClusterer(barbell)
+        results = clusterer.all_methods(0)
+        assert set(results) == set(ALGORITHMS)
+        for result in results.values():
+            assert result.size >= 1
+
+    def test_individual_methods(self, planted):
+        clusterer = LocalClusterer(planted)
+        assert clusterer.nibble(0, eps=1e-5).size >= 1
+        assert clusterer.pr_nibble(0, eps=1e-5).size >= 1
+        assert clusterer.hk_pr(0, t=5.0, eps=1e-4).size >= 1
+        assert clusterer.rand_hk_pr(0, num_walks=2000).size >= 1
+
+    def test_sequential_clusterer(self, barbell):
+        clusterer = LocalClusterer(barbell, parallel=False)
+        result = clusterer.pr_nibble(0, eps=1e-5)
+        assert sorted(result.cluster.tolist()) == list(range(10))

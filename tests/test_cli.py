@@ -1,0 +1,129 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import paper_figure1_graph, save_npz, write_edge_list
+
+
+class TestGraphsCommand:
+    def test_lists_all_proxies(self, capsys):
+        assert main(["graphs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("soc-LJ", "Yahoo", "3D-grid"):
+            assert name in out
+
+
+class TestGenerateCommand:
+    def test_generate_rand_local_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        assert main(["generate", "rand-local", str(out), "--n", "500"]) == 0
+        assert out.exists()
+        assert "wrote CSRGraph" in capsys.readouterr().out
+
+    def test_generate_proxy_edge_list(self, tmp_path):
+        out = tmp_path / "g.txt"
+        assert main(
+            ["generate", "proxy", str(out), "--name", "3D-grid", "--scale", "0.05"]
+        ) == 0
+        assert out.read_text().startswith("#")
+
+    def test_generate_grid_adjacency(self, tmp_path):
+        out = tmp_path / "g.adj"
+        assert main(["generate", "3d-grid", str(out), "--n", "64"]) == 0
+        assert out.read_text().startswith("AdjacencyGraph")
+
+
+class TestClusterCommand:
+    def test_cluster_on_graph_file(self, tmp_path, capsys):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        code = main(
+            [
+                "cluster",
+                str(path),
+                "--method",
+                "pr-nibble",
+                "--seed",
+                "0",
+                "--param",
+                "eps=1e-4",
+                "--param",
+                "alpha=0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phi=" in out and "members:" in out
+
+    def test_cluster_with_profile(self, tmp_path, capsys):
+        path = tmp_path / "fig1.txt"
+        write_edge_list(paper_figure1_graph(), path)
+        assert main(["cluster", str(path), "--seed", "0", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "simT40=" in out and "speedup=" in out
+
+    def test_cluster_default_seed_is_max_degree(self, tmp_path, capsys):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        assert main(["cluster", str(path)]) == 0
+        assert "seed: 3" in capsys.readouterr().out  # vertex D has degree 4
+
+    def test_unknown_graph_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "definitely-not-a-graph"])
+
+    def test_bad_param_rejected(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        with pytest.raises(SystemExit):
+            main(["cluster", str(path), "--param", "epsilon"])
+
+    def test_cluster_on_proxy(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        assert main(["cluster", "3D-grid", "--param", "eps=1e-4"]) == 0
+        assert "cluster:" in capsys.readouterr().out
+
+
+class TestNcpCommand:
+    def test_ncp_csv(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        out = tmp_path / "ncp.csv"
+        code = main(
+            [
+                "ncp",
+                "randLocal",
+                str(out),
+                "--seeds",
+                "3",
+                "--alpha",
+                "0.05",
+                "--eps",
+                "1e-4",
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "size,conductance"
+        assert len(lines) > 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "graphs"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert "soc-LJ" in result.stdout

@@ -1,0 +1,107 @@
+"""Tests for graph construction and normalisation (repro.graph.builder)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import (
+    edge_arrays_of,
+    from_adjacency,
+    from_edge_arrays,
+    from_edge_list,
+    from_networkx,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=120
+)
+
+
+class TestNormalisation:
+    def test_symmetrises(self):
+        graph = from_edge_list([(0, 1)])
+        assert graph.neighbors_of(0).tolist() == [1]
+        assert graph.neighbors_of(1).tolist() == [0]
+
+    def test_removes_self_loops(self):
+        graph = from_edge_list([(0, 0), (0, 1)])
+        assert graph.num_edges == 1
+        assert graph.neighbors_of(0).tolist() == [1]
+
+    def test_deduplicates(self):
+        graph = from_edge_list([(0, 1), (1, 0), (0, 1), (0, 1)])
+        assert graph.num_edges == 1
+
+    def test_isolated_vertices_kept(self):
+        graph = from_edge_list([(0, 1)], num_vertices=5)
+        assert graph.num_vertices == 5
+        assert graph.degree(4) == 0
+
+    def test_empty_edge_list(self):
+        graph = from_edge_list([], num_vertices=3)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 0
+
+    def test_adjacency_lists_sorted(self):
+        graph = from_edge_list([(2, 9), (2, 1), (2, 5)])
+        assert graph.neighbors_of(2).tolist() == [1, 5, 9]
+
+    @given(edge_lists)
+    def test_invariants_hold_for_arbitrary_input(self, edges):
+        graph = from_edge_list(edges)
+        graph.check_invariants()
+        # Volume is even (every undirected edge has two endpoints).
+        assert graph.total_volume == 2 * graph.num_edges
+
+
+class TestValidation:
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            from_edge_arrays(np.array([-1]), np.array([0]))
+
+    def test_rejects_too_small_num_vertices(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 5)], num_vertices=3)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            from_edge_arrays(np.array([0, 1]), np.array([1]))
+
+    def test_rejects_malformed_pairs(self):
+        with pytest.raises(ValueError):
+            from_edge_list([(0, 1, 2)])  # type: ignore[list-item]
+
+
+class TestConversions:
+    def test_from_adjacency(self):
+        graph = from_adjacency({0: [1, 2], 1: [2]})
+        assert graph.num_edges == 3
+        assert graph.neighbors_of(2).tolist() == [0, 1]
+
+    def test_from_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.karate_club_graph()
+        graph = from_networkx(nx_graph)
+        assert graph.num_vertices == nx_graph.number_of_nodes()
+        assert graph.num_edges == nx_graph.number_of_edges()
+        for u, v in nx_graph.edges():
+            assert graph.has_edge(u, v)
+
+    def test_edge_arrays_round_trip(self, figure1):
+        sources, targets = edge_arrays_of(figure1)
+        assert len(sources) == figure1.num_edges
+        assert (sources < targets).all()
+        rebuilt = from_edge_arrays(sources, targets, num_vertices=8)
+        assert np.array_equal(rebuilt.offsets, figure1.offsets)
+        assert np.array_equal(rebuilt.neighbors, figure1.neighbors)
+
+    @given(edge_lists)
+    def test_round_trip_any_graph(self, edges):
+        graph = from_edge_list(edges, num_vertices=31)
+        sources, targets = edge_arrays_of(graph)
+        rebuilt = from_edge_arrays(sources, targets, num_vertices=31)
+        assert np.array_equal(rebuilt.offsets, graph.offsets)
+        assert np.array_equal(rebuilt.neighbors, graph.neighbors)

@@ -1,0 +1,80 @@
+"""Tests for connected components and subgraph extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    component_sizes,
+    connected_components,
+    from_edge_list,
+    induced_subgraph,
+    largest_component_vertices,
+    planted_partition,
+)
+
+
+@pytest.fixture
+def two_triangles():
+    # Components {0,1,2} and {3,4,5}, plus isolated vertex 6.
+    return from_edge_list([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], num_vertices=7)
+
+
+class TestConnectedComponents:
+    def test_labels_two_triangles(self, two_triangles):
+        labels = connected_components(two_triangles)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 3, 6]
+
+    def test_component_sizes(self, two_triangles):
+        sizes = component_sizes(connected_components(two_triangles))
+        assert sizes == {0: 3, 3: 3, 6: 1}
+
+    def test_edgeless_graph(self):
+        graph = from_edge_list([], num_vertices=4)
+        assert connected_components(graph).tolist() == [0, 1, 2, 3]
+
+    def test_giant_component(self, planted):
+        labels = connected_components(planted)
+        # Planted partition with inter-community edges has a giant
+        # component covering almost all vertices (stray degree-0 vertices
+        # can occur under binomial edge sampling).
+        _, counts = np.unique(labels, return_counts=True)
+        assert counts.max() >= 0.99 * planted.num_vertices
+
+    def test_long_path_converges(self):
+        # Pointer jumping must handle diameter >> number of rounds naively.
+        n = 500
+        graph = from_edge_list([(i, i + 1) for i in range(n - 1)])
+        labels = connected_components(graph)
+        assert (labels == 0).all()
+
+
+class TestLargestComponent:
+    def test_largest_of_unbalanced(self):
+        graph = from_edge_list([(0, 1), (2, 3), (3, 4), (2, 4)], num_vertices=5)
+        assert largest_component_vertices(graph).tolist() == [2, 3, 4]
+
+
+class TestInducedSubgraph:
+    def test_extract_triangle(self, two_triangles):
+        subgraph, old_ids = induced_subgraph(two_triangles, np.array([3, 4, 5]))
+        assert subgraph.num_vertices == 3
+        assert subgraph.num_edges == 3
+        assert old_ids.tolist() == [3, 4, 5]
+
+    def test_cross_edges_dropped(self, two_triangles):
+        subgraph, _ = induced_subgraph(two_triangles, np.array([0, 1, 3]))
+        assert subgraph.num_edges == 1  # only (0, 1) survives
+
+    def test_matches_networkx(self, planted):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(0)
+        chosen = rng.choice(planted.num_vertices, size=50, replace=False)
+        subgraph, old_ids = induced_subgraph(planted, chosen)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(planted.num_vertices))
+        sources, targets = planted.gather_edges(np.arange(planted.num_vertices))
+        nx_graph.add_edges_from(zip(sources.tolist(), targets.tolist()))
+        nx_sub = nx_graph.subgraph(old_ids.tolist())
+        assert subgraph.num_edges == nx_sub.number_of_edges()

@@ -1,0 +1,111 @@
+"""Tests for the CSR graph representation (repro.graph.csr)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edge_list, path_graph
+from repro.runtime import track
+
+
+@pytest.fixture
+def triangle():
+    return from_edge_list([(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_valid_graph(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert triangle.total_volume == 6
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_offsets_must_cover_neighbors(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0, 0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+    def test_neighbor_ids_in_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_empty_graph(self):
+        graph = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+
+class TestDegreesAndAdjacency:
+    def test_degree(self, figure1):
+        assert [figure1.degree(v) for v in range(8)] == [2, 2, 3, 4, 1, 1, 2, 1]
+
+    def test_degrees_all(self, figure1):
+        assert figure1.degrees().tolist() == [2, 2, 3, 4, 1, 1, 2, 1]
+
+    def test_degrees_subset(self, figure1):
+        assert figure1.degrees(np.array([3, 0])).tolist() == [4, 2]
+
+    def test_neighbors_sorted(self, figure1):
+        assert figure1.neighbors_of(3).tolist() == [2, 4, 5, 6]
+
+    def test_volume(self, figure1):
+        assert figure1.volume(np.array([0, 1, 2])) == 7
+        assert figure1.volume(np.array([0, 1, 2, 3])) == 11
+
+    def test_has_edge(self, figure1):
+        assert figure1.has_edge(0, 1)
+        assert figure1.has_edge(1, 0)
+        assert not figure1.has_edge(0, 7)
+
+
+class TestGatherEdges:
+    def test_gather_groups_by_source(self, figure1):
+        sources, targets = figure1.gather_edges(np.array([0, 3]))
+        assert sources.tolist() == [0, 0, 3, 3, 3, 3]
+        assert targets.tolist() == [1, 2, 2, 4, 5, 6]
+
+    def test_gather_empty_frontier(self, figure1):
+        sources, targets = figure1.gather_edges(np.array([], dtype=np.int64))
+        assert len(sources) == 0 and len(targets) == 0
+
+    def test_gather_isolated_vertices(self):
+        graph = from_edge_list([(0, 1)], num_vertices=4)
+        sources, targets = graph.gather_edges(np.array([2, 3]))
+        assert len(sources) == 0
+
+    def test_work_proportional_to_frontier_volume(self, figure1):
+        # The locality property Ligra's edgeMap relies on: gathering the
+        # edges of a subset must cost O(|subset| + vol(subset)), not O(m).
+        with track() as tracker:
+            figure1.gather_edges(np.array([4]))  # degree-1 vertex
+        small = tracker.work
+        with track() as tracker:
+            figure1.gather_edges(np.arange(8))
+        assert small < tracker.work
+        assert small <= 1 + 1 + 2  # scan + vertex + its single edge
+
+    def test_check_invariants_accepts_valid(self, figure1):
+        figure1.check_invariants()
+
+    def test_check_invariants_rejects_asymmetric(self):
+        # Hand-built directed edge (0 -> 1 without 1 -> 0).
+        graph = CSRGraph(np.array([0, 1, 1]), np.array([1]))
+        with pytest.raises(ValueError):
+            graph.check_invariants()
+
+    def test_check_invariants_rejects_self_loop(self):
+        graph = CSRGraph(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            graph.check_invariants()
+
+
+class TestRepr:
+    def test_repr(self):
+        assert repr(path_graph(3)) == "CSRGraph(n=3, m=2)"

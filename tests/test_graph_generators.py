@@ -1,0 +1,156 @@
+"""Tests for the graph generators (repro.graph.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import conductance
+from repro.graph import (
+    barbell_graph,
+    citation_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_3d,
+    paper_figure1_graph,
+    path_graph,
+    planted_partition,
+    power_law_communities,
+    rand_local,
+    rmat,
+    star_graph,
+)
+
+
+class TestPaperGenerators:
+    def test_grid_3d_is_6_regular_torus(self):
+        graph = grid_3d(5)
+        assert graph.num_vertices == 125
+        assert (graph.degrees() == 6).all()
+        assert graph.num_edges == 3 * 125
+        graph.check_invariants()
+
+    def test_grid_3d_open_boundary(self):
+        graph = grid_3d(3, torus=False)
+        assert graph.num_vertices == 27
+        # Corner vertices have degree 3 in the open grid.
+        assert graph.degree(0) == 3
+        assert graph.num_edges == 3 * 3 * 2 * 3  # 3 axes * 2 edges/line * 9 lines
+
+    def test_grid_rejects_tiny_side(self):
+        with pytest.raises(ValueError):
+            grid_3d(1)
+
+    def test_rand_local_shape(self):
+        graph = rand_local(2000, seed=0)
+        assert graph.num_vertices == 2000
+        # 5 picks per vertex, symmetrised and deduplicated: between n and 2*5n/2.
+        assert 2000 <= graph.num_edges <= 5 * 2000
+        graph.check_invariants()
+
+    def test_rand_local_is_local(self):
+        # Most edges connect nearby ids (the generator's defining property).
+        graph = rand_local(5000, seed=1)
+        sources, targets = graph.gather_edges(np.arange(5000))
+        distance = np.abs(sources - targets)
+        wrapped = np.minimum(distance, 5000 - distance)
+        assert np.median(wrapped) < 100
+
+    def test_rand_local_deterministic_by_seed(self):
+        a = rand_local(500, seed=3)
+        b = rand_local(500, seed=3)
+        c = rand_local(500, seed=4)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert not np.array_equal(a.neighbors, c.neighbors)
+
+    def test_rand_local_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            rand_local(1)
+
+
+class TestProxyGenerators:
+    def test_rmat_size_and_skew(self):
+        graph = rmat(10, edge_factor=8, seed=0)
+        assert graph.num_vertices == 1024
+        assert graph.num_edges > 1024
+        degrees = graph.degrees()
+        # Heavy tail: max degree far above the mean.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(8, a=0.5, b=0.3, c=0.2)  # d = 0
+
+    def test_erdos_renyi(self):
+        graph = erdos_renyi(500, 2000, seed=0)
+        assert graph.num_vertices == 500
+        assert 0 < graph.num_edges <= 2000
+
+    def test_planted_partition_structure(self):
+        graph = planted_partition(600, 6, intra_degree=10.0, inter_degree=1.0, seed=0)
+        assert graph.num_vertices == 600
+        community = np.arange(100)
+        # The planted community is a far better cluster than a random set.
+        rng = np.random.default_rng(0)
+        random_set = rng.choice(600, size=100, replace=False)
+        assert conductance(graph, community) < 0.3
+        assert conductance(graph, community) < conductance(graph, random_set) / 2
+
+    def test_planted_partition_divisibility(self):
+        with pytest.raises(ValueError):
+            planted_partition(100, 7, 5.0, 1.0)
+
+    def test_power_law_communities(self):
+        graph = power_law_communities(3000, seed=0)
+        assert graph.num_vertices == 3000
+        degrees = graph.degrees()
+        assert degrees.max() > 3 * degrees.mean()
+        graph.check_invariants()
+
+    def test_citation_graph(self):
+        graph = citation_graph(2000, references_per_vertex=4, seed=0)
+        assert graph.num_vertices == 2000
+        # Early vertices are cited heavily (copying-model hubs).
+        degrees = graph.degrees()
+        assert degrees[:20].mean() > degrees[1000:].mean()
+
+
+class TestSmallGraphs:
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert (graph.degrees() == 2).all()
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert (graph.degrees() == 5).all()
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 6
+        assert graph.num_edges == 6
+
+    def test_barbell(self):
+        graph = barbell_graph(5)
+        assert graph.num_vertices == 10
+        assert graph.num_edges == 2 * 10 + 1
+        # The bridge is the unique min cut: conductance of one clique.
+        clique = np.arange(5)
+        assert conductance(graph, clique) == pytest.approx(1 / 21)
+
+    def test_figure1_matches_paper(self):
+        graph = paper_figure1_graph()
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 8
+        assert conductance(graph, np.array([0])) == pytest.approx(1.0)
+        assert conductance(graph, np.array([0, 1])) == pytest.approx(1 / 2)
+        assert conductance(graph, np.array([0, 1, 2])) == pytest.approx(1 / 7)
+        assert conductance(graph, np.array([0, 1, 2, 3])) == pytest.approx(3 / 5)

@@ -1,0 +1,95 @@
+"""Tests for graph serialisation (repro.graph.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    grid_3d,
+    load_npz,
+    paper_figure1_graph,
+    rand_local,
+    read_adjacency_graph,
+    read_edge_list,
+    save_npz,
+    write_adjacency_graph,
+    write_edge_list,
+)
+
+
+def _assert_same_graph(a, b):
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.neighbors, b.neighbors)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "graph.txt"
+        write_edge_list(figure1, path, comment="figure 1")
+        _assert_same_graph(read_edge_list(path, num_vertices=8), figure1)
+
+    def test_comment_header_present(self, tmp_path, figure1):
+        path = tmp_path / "graph.txt"
+        write_edge_list(figure1, path, comment="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert "# Nodes: 8 Edges: 8" in text
+
+    def test_reads_snap_style_whitespace(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# SNAP header\n0\t1\n1 2\n\n2\t0\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestAdjacencyGraph:
+    def test_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "graph.adj"
+        write_adjacency_graph(figure1, path)
+        _assert_same_graph(read_adjacency_graph(path), figure1)
+
+    def test_header_format(self, tmp_path, figure1):
+        path = tmp_path / "graph.adj"
+        write_adjacency_graph(figure1, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "AdjacencyGraph"
+        assert lines[1] == "8"
+        assert lines[2] == "16"
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.adj"
+        path.write_text("NotAGraph\n1\n0\n0\n")
+        with pytest.raises(ValueError):
+            read_adjacency_graph(path)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "short.adj"
+        path.write_text("AdjacencyGraph\n2\n2\n0\n")
+        with pytest.raises(ValueError):
+            read_adjacency_graph(path)
+
+    def test_round_trip_larger_graph(self, tmp_path):
+        graph = grid_3d(4)
+        path = tmp_path / "grid.adj"
+        write_adjacency_graph(graph, path)
+        _assert_same_graph(read_adjacency_graph(path), graph)
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        graph = rand_local(300, seed=0)
+        path = tmp_path / "graph.npz"
+        save_npz(graph, path)
+        _assert_same_graph(load_npz(path), graph)
+
+    def test_figure1(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        assert load_npz(path).num_edges == 8

@@ -1,0 +1,66 @@
+"""Tests for the Table-2 proxy registry (repro.graph.proxies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PROXIES, load_proxy, proxy_names
+from repro.graph.proxies import default_scale
+
+
+class TestRegistry:
+    def test_table2_rows_present(self):
+        # All ten Table-2 graphs, in row order.
+        assert proxy_names() == [
+            "soc-LJ",
+            "cit-Patents",
+            "com-LJ",
+            "com-Orkut",
+            "nlpkkt240",
+            "Twitter",
+            "com-friendster",
+            "Yahoo",
+            "randLocal",
+            "3D-grid",
+        ]
+
+    def test_paper_sizes_recorded(self):
+        spec = PROXIES["Yahoo"]
+        assert spec.paper_vertices == 1_413_511_391
+        assert spec.paper_edges == 6_434_561_035
+        assert "Yahoo" in spec.describe()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_proxy("no-such-graph")
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", proxy_names())
+    def test_every_proxy_builds(self, name):
+        graph = load_proxy(name, scale=0.05)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_cache_returns_same_object(self):
+        a = load_proxy("3D-grid", scale=0.1)
+        b = load_proxy("3D-grid", scale=0.1)
+        assert a is b
+
+    def test_scale_changes_size(self):
+        small = load_proxy("randLocal", scale=0.05)
+        large = load_proxy("randLocal", scale=0.2)
+        assert large.num_vertices > small.num_vertices
+
+    def test_seed_changes_graph(self):
+        a = load_proxy("soc-LJ", scale=0.05, seed=0)
+        b = load_proxy("soc-LJ", scale=0.05, seed=1)
+        assert a is not b
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert default_scale() == 0.25
+
+    def test_mesh_proxy_is_regular(self):
+        graph = load_proxy("nlpkkt240", scale=0.1)
+        assert (graph.degrees() == 6).all()

@@ -1,0 +1,144 @@
+"""Tests for deterministic heat kernel PageRank (repro.core.hk_pr)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HKPRParams,
+    hk_pr,
+    hk_pr_parallel,
+    hk_pr_sequential,
+    psi_coefficients,
+    sweep_cut,
+)
+from repro.core.result import vector_items
+from repro.graph import cycle_graph, planted_partition
+
+
+def _as_dict(result):
+    keys, values = vector_items(result.vector)
+    return dict(zip(keys.tolist(), values.tolist()))
+
+
+class TestPsiCoefficients:
+    def test_direct_sum_formula(self):
+        # psi_k = sum_{m=0}^{N-k} k!/(m+k)! t^m, checked term by term.
+        t, n = 3.0, 12
+        psi = psi_coefficients(t, n)
+        for k in range(n + 1):
+            direct = sum(
+                math.factorial(k) / math.factorial(m + k) * t**m for m in range(n - k + 1)
+            )
+            assert psi[k] == pytest.approx(direct, rel=1e-12)
+
+    def test_boundary_values(self):
+        psi = psi_coefficients(10.0, 40)
+        assert psi[40] == 1.0
+        # psi_0 = sum_{m<=N} t^m/m! converges to e^t as N grows.
+        assert psi[0] == pytest.approx(math.exp(10.0), rel=1e-6)
+
+    def test_monotone_decreasing_in_k(self):
+        psi = psi_coefficients(5.0, 15)
+        assert all(a > b for a, b in zip(psi, psi[1:]))
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HKPRParams(t=0.0)
+        with pytest.raises(ValueError):
+            HKPRParams(taylor_degree=0)
+        with pytest.raises(ValueError):
+            HKPRParams(eps=2.0)
+
+
+class TestSequentialParallelEquivalence:
+    """Section 3.4: the parallel algorithm "applies the same updates as the
+    sequential algorithm and thus the vector returned is the same"."""
+
+    @pytest.mark.parametrize("eps", [1e-3, 1e-4, 1e-5])
+    def test_identical_vectors(self, planted, eps):
+        params = HKPRParams(t=5.0, taylor_degree=10, eps=eps)
+        seq = _as_dict(hk_pr_sequential(planted, 0, params))
+        par = _as_dict(hk_pr_parallel(planted, 0, params))
+        assert set(seq) == set(par)
+        for key, value in seq.items():
+            assert par[key] == pytest.approx(value, rel=1e-9, abs=1e-15)
+
+    def test_same_push_counts(self, planted):
+        params = HKPRParams(t=5.0, taylor_degree=10, eps=1e-4)
+        seq = hk_pr_sequential(planted, 0, params)
+        par = hk_pr_parallel(planted, 0, params)
+        assert seq.pushes == par.pushes
+        assert par.iterations <= params.taylor_degree
+
+
+class TestApproximationQuality:
+    def test_approximates_truncated_heat_kernel(self):
+        # On a small cycle, compare against the exact series the push
+        # procedure targets, computed with dense matrix powers.  Levels
+        # 0..N-1 contribute t^k/k! P^k s; the last-level rule
+        # "p[w] += r[(v, N-1)] / d(v)" distributes the level-(N-1) mass
+        # through P once more with unit weight, adding
+        # t^{N-1}/(N-1)! P^N s.  The degree-normalised residual error is
+        # bounded by the push thresholds (eps at the e^t scale).
+        graph = cycle_graph(20)
+        t, taylor_degree, eps = 2.0, 15, 1e-4
+        params = HKPRParams(t=t, taylor_degree=taylor_degree, eps=eps)
+        result = hk_pr(graph, 0, params)
+
+        n = graph.num_vertices
+        adjacency = np.zeros((n, n))
+        for v in range(n):
+            adjacency[graph.neighbors_of(v), v] = 1.0
+        walk = adjacency / graph.degrees()[None, :]  # P = A D^-1 acting on columns
+        seed_vec = np.zeros(n)
+        seed_vec[0] = 1.0
+        exact = np.zeros(n)
+        term = seed_vec.copy()
+        for k in range(taylor_degree):
+            exact += term * t**k / math.factorial(k)
+            term = walk @ term
+        # term now holds P^N s.
+        exact += term * t ** (taylor_degree - 1) / math.factorial(taylor_degree - 1)
+        approx = np.zeros(n)
+        keys, values = vector_items(result.vector)
+        approx[keys] = values
+        error = np.abs(approx - exact) / graph.degrees()
+        assert error.max() <= eps * math.exp(t)
+
+    def test_tighter_eps_means_more_work_and_support(self, planted):
+        coarse = hk_pr(planted, 0, HKPRParams(5.0, 10, 1e-3))
+        fine = hk_pr(planted, 0, HKPRParams(5.0, 10, 1e-5))
+        assert fine.touched_edges >= coarse.touched_edges
+        assert fine.support_size() >= coarse.support_size()
+
+    def test_larger_taylor_degree_refines(self, planted):
+        shallow = hk_pr(planted, 0, HKPRParams(5.0, 3, 1e-4))
+        deep = hk_pr(planted, 0, HKPRParams(5.0, 15, 1e-4))
+        assert deep.extras.get("levels", deep.iterations) >= shallow.extras.get(
+            "levels", shallow.iterations
+        )
+
+
+class TestRecovery:
+    def test_finds_planted_community(self, planted, planted_community):
+        result = hk_pr(planted, 0, HKPRParams(t=5.0, taylor_degree=12, eps=1e-5))
+        sweep = sweep_cut(planted, result.vector)
+        found = set(sweep.best_cluster.tolist())
+        truth = set(planted_community.tolist())
+        assert len(found & truth) / len(found | truth) > 0.8
+
+    def test_multi_seed(self, planted):
+        result = hk_pr(planted, np.array([0, 5]), HKPRParams(3.0, 8, 1e-4))
+        assert result.support_size() > 2
+
+    def test_seed_level_zero_always_processed(self, small_cycle):
+        # Even with a huge eps the seed itself is diffused once.
+        result = hk_pr(small_cycle, 0, HKPRParams(t=1.0, taylor_degree=5, eps=0.9))
+        assert result.pushes >= 1
+        assert result.support_size() >= 1

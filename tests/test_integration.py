@@ -1,0 +1,120 @@
+"""End-to-end integration tests across modules.
+
+These mirror the paper's usage patterns: recovering ground-truth clusters
+from inside seeds, the interactive remove-and-recluster workflow of the
+introduction, profiled runs driving the simulated machine, and running the
+full pipeline over the Table-2 proxies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PAPER_MACHINE, LocalClusterer, local_cluster, track
+from repro.core import (
+    EvolvingSetParams,
+    cluster_stats,
+    evolving_set_process,
+    sweep_cut,
+    sweep_cut_sequential,
+)
+from repro.graph import induced_subgraph, load_proxy, proxy_names
+
+
+class TestGroundTruthRecovery:
+    """All four diffusions recover a planted community from an inside seed."""
+
+    @pytest.mark.parametrize(
+        "method, overrides",
+        [
+            ("nibble", {"eps": 1e-6}),
+            ("pr-nibble", {"alpha": 0.05, "eps": 1e-6}),
+            ("hk-pr", {"t": 5.0, "taylor_degree": 12, "eps": 1e-5}),
+            ("rand-hk-pr", {"t": 5.0, "max_walk_length": 10, "num_walks": 20000}),
+        ],
+    )
+    def test_recovery(self, planted, planted_community, method, overrides):
+        result = local_cluster(planted, 0, method=method, **overrides)
+        found = set(result.cluster.tolist())
+        truth = set(planted_community.tolist())
+        jaccard = len(found & truth) / len(found | truth)
+        assert jaccard > 0.7, f"{method} found jaccard {jaccard:.2f}"
+        assert result.conductance < 0.3
+
+    def test_evolving_sets_recovery_with_restarts(self, planted, planted_community):
+        best_phi = 1.0
+        best_cluster: set[int] = set()
+        for restart in range(10):
+            result = evolving_set_process(
+                planted, 0, EvolvingSetParams(max_iterations=60), rng=restart
+            )
+            if result.conductance < best_phi:
+                best_phi = result.conductance
+                best_cluster = set(result.cluster.tolist())
+        truth = set(planted_community.tolist())
+        assert best_phi < 0.4
+        assert len(best_cluster & truth) / len(best_cluster | truth) > 0.4
+
+    def test_different_methods_similar_clusters(self, planted):
+        # Section 6: analysts can "use all of them to find slightly
+        # different clusters of similar size from the same seed set".
+        clusterer = LocalClusterer(planted)
+        results = clusterer.all_methods(0)
+        sizes = [r.size for r in results.values()]
+        assert max(sizes) <= 3 * min(sizes)
+
+
+class TestInteractiveWorkflow:
+    def test_remove_cluster_and_recluster(self, planted):
+        # The introduction's workflow: find a local cluster, remove it,
+        # continue exploring the remainder.
+        result = local_cluster(planted, 0, method="pr-nibble", alpha=0.05, eps=1e-6)
+        remaining = np.setdiff1d(np.arange(planted.num_vertices), result.cluster)
+        subgraph, old_ids = induced_subgraph(planted, remaining)
+        assert subgraph.num_vertices == planted.num_vertices - result.size
+        # A seed inside another community still finds a good cluster.
+        new_seed = int(np.flatnonzero(old_ids >= 100)[0])
+        second = local_cluster(subgraph, new_seed, method="pr-nibble", alpha=0.05, eps=1e-6)
+        assert second.conductance < 0.5
+        # Map back to original ids and verify disjointness.
+        recovered = old_ids[second.cluster]
+        assert len(np.intersect1d(recovered, result.cluster)) == 0
+
+
+class TestCostModelIntegration:
+    def test_diffusion_speedup_in_paper_band(self, planted):
+        with track() as tracker:
+            local_cluster(planted, 0, method="pr-nibble", alpha=0.05, eps=1e-7)
+        speedup = PAPER_MACHINE.self_relative_speedup(tracker, 40)
+        assert 2.0 <= speedup <= 52.0
+
+    def test_parallel_work_exceeds_sequential_for_sweep(self, planted):
+        vector = local_cluster(planted, 0, method="pr-nibble", eps=1e-6).diffusion.vector
+        with track() as seq:
+            sweep_cut_sequential(planted, vector)
+        with track() as par:
+            sweep_cut(planted, vector, parallel=True)
+        # The paper: "On a single thread, parallel sweep is slower than
+        # sequential sweep due to overheads of the parallel algorithm
+        # (e.g., scanning over the edges several times instead of once)."
+        assert par.work > seq.work
+
+
+class TestProxiesEndToEnd:
+    @pytest.mark.parametrize("name", proxy_names())
+    def test_pipeline_on_every_proxy(self, name):
+        graph = load_proxy(name, scale=0.05)
+        degrees = graph.degrees()
+        seed = int(np.argmax(degrees > 0))
+        result = local_cluster(graph, seed, method="pr-nibble", alpha=0.05, eps=1e-4)
+        assert result.size >= 1
+        stats = cluster_stats(graph, result.cluster)
+        assert stats.conductance == pytest.approx(result.conductance)
+
+    def test_mesh_proxies_terminate_fast(self):
+        # The paper's observation: meshes have no good local clusters and
+        # the diffusions touch little of the graph.
+        graph = load_proxy("3D-grid", scale=0.2)
+        result = local_cluster(graph, 0, method="pr-nibble", alpha=0.05, eps=1e-4)
+        assert result.diffusion.support_size() < graph.num_vertices / 5

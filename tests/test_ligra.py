@@ -1,0 +1,122 @@
+"""Tests for the Ligra layer (repro.ligra)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ligra import VertexSubset, edge_map, edge_map_gather, expand_by_degree, vertex_map
+from repro.runtime import track
+
+
+class TestVertexSubset:
+    def test_deduplicates_and_sorts(self):
+        subset = VertexSubset(np.array([5, 1, 5, 3]))
+        assert subset.vertices.tolist() == [1, 3, 5]
+        assert len(subset) == 3
+
+    def test_constructors(self):
+        assert VertexSubset.empty().is_empty()
+        assert VertexSubset.single(4).vertices.tolist() == [4]
+        assert VertexSubset.of(2, 1).vertices.tolist() == [1, 2]
+
+    def test_contains(self):
+        subset = VertexSubset.of(1, 3, 5)
+        assert 3 in subset
+        assert 2 not in subset
+        assert 99 not in subset
+
+    def test_union(self):
+        union = VertexSubset.of(1, 2).union(VertexSubset.of(2, 3))
+        assert union.vertices.tolist() == [1, 2, 3]
+
+    def test_where(self):
+        subset = VertexSubset.of(1, 2, 3)
+        assert subset.where(np.array([True, False, True])).vertices.tolist() == [1, 3]
+        with pytest.raises(ValueError):
+            subset.where(np.array([True]))
+
+    def test_equality_and_hash(self):
+        assert VertexSubset.of(1, 2) == VertexSubset.of(2, 1)
+        assert hash(VertexSubset.of(1, 2)) == hash(VertexSubset.of(1, 2))
+        assert VertexSubset.of(1) != VertexSubset.of(2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VertexSubset(np.array([-1]))
+
+    def test_iteration(self):
+        assert list(VertexSubset.of(3, 1)) == [1, 3]
+
+
+class TestVertexMap:
+    def test_applies_function_to_all_vertices(self, figure1):
+        seen = []
+        vertex_map(VertexSubset.of(0, 3), lambda vs: seen.append(vs.tolist()))
+        assert seen == [[0, 3]]
+
+    def test_output_subset_from_mask(self, figure1):
+        subset = VertexSubset.of(0, 1, 2)
+        out = vertex_map(subset, lambda vs: vs >= 1)
+        assert out.vertices.tolist() == [1, 2]
+
+    def test_none_return_gives_empty(self):
+        out = vertex_map(VertexSubset.of(0), lambda vs: None)
+        assert out.is_empty()
+
+    def test_work_proportional_to_subset(self):
+        with track() as tracker:
+            vertex_map(VertexSubset(np.arange(100)), lambda vs: None)
+        assert tracker.by_category["vertex_map"].work == 100
+
+
+class TestEdgeMap:
+    def test_applies_to_incident_edges(self, figure1):
+        captured = {}
+
+        def fn(sources, targets):
+            captured["sources"] = sources.tolist()
+            captured["targets"] = targets.tolist()
+
+        edge_map(figure1, VertexSubset.of(0), fn)
+        assert captured["sources"] == [0, 0]
+        assert captured["targets"] == [1, 2]
+
+    def test_output_frontier_from_edge_mask(self, figure1):
+        out = edge_map(figure1, VertexSubset.of(3), lambda s, t: t > 4)
+        assert out.vertices.tolist() == [5, 6]
+
+    def test_duplicate_targets_deduplicated(self, figure1):
+        # Vertices 0 and 1 both neighbor 2: the output subset holds 2 once.
+        out = edge_map(figure1, VertexSubset.of(0, 1), lambda s, t: t == 2)
+        assert out.vertices.tolist() == [2]
+
+    def test_bad_mask_shape_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            edge_map(figure1, VertexSubset.of(0), lambda s, t: np.array([True]))
+
+    def test_work_proportional_to_frontier_volume(self, figure1):
+        # Locality: edgeMap over {4} (degree 1) must record far less work
+        # than edgeMap over all vertices (volume 16).
+        with track() as small:
+            edge_map(figure1, VertexSubset.of(4), lambda s, t: None)
+        with track() as large:
+            edge_map(figure1, VertexSubset(np.arange(8)), lambda s, t: None)
+        assert small.work < large.work / 3
+
+
+class TestGatherHelpers:
+    def test_edge_map_gather(self, figure1):
+        sources, targets = edge_map_gather(figure1, VertexSubset.of(0, 3))
+        assert sources.tolist() == [0, 0, 3, 3, 3, 3]
+        assert targets.tolist() == [1, 2, 2, 4, 5, 6]
+
+    def test_expand_by_degree_alignment(self, figure1):
+        subset = VertexSubset.of(0, 3)
+        per_vertex = np.array([10.0, 20.0])
+        expanded = expand_by_degree(figure1, subset, per_vertex)
+        assert expanded.tolist() == [10.0, 10.0, 20.0, 20.0, 20.0, 20.0]
+
+    def test_expand_rejects_wrong_length(self, figure1):
+        with pytest.raises(ValueError):
+            expand_by_degree(figure1, VertexSubset.of(0), np.array([1.0, 2.0]))

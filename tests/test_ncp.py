@@ -1,0 +1,94 @@
+"""Tests for the network community profile driver (repro.core.ncp)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NCPResult, log_binned, ncp_profile
+
+
+@pytest.fixture(scope="module")
+def planted_ncp(request):
+    from repro.graph import planted_partition
+
+    graph = planted_partition(1000, 10, intra_degree=8.0, inter_degree=1.0, seed=11)
+    profile = ncp_profile(
+        graph,
+        num_seeds=12,
+        alphas=(0.05,),
+        eps_values=(1e-5,),
+        rng=0,
+    )
+    return graph, profile
+
+
+class TestProfile:
+    def test_runs_counted(self, planted_ncp):
+        _, profile = planted_ncp
+        assert profile.runs == 12
+
+    def test_profile_shape(self, planted_ncp):
+        graph, profile = planted_ncp
+        assert profile.max_size == graph.num_vertices
+        assert len(profile.conductance) == graph.num_vertices
+        sizes, phis = profile.series()
+        assert len(sizes) == len(phis)
+        assert (phis > 0).all() and (phis <= 1.0).all()
+
+    def test_dip_near_community_size(self, planted_ncp):
+        # The NCP of a planted-partition graph dips at the community scale
+        # (the Figure 12 "good communities are small" shape).
+        _, profile = planted_ncp
+        sizes, phis = profile.series()
+        near_community = (sizes >= 80) & (sizes <= 120)
+        small = sizes <= 5
+        assert near_community.any()
+        assert phis[near_community].min() < phis[small].min() / 2
+
+    def test_best_at(self, planted_ncp):
+        _, profile = planted_ncp
+        sizes = profile.sizes()
+        first = int(sizes[0])
+        assert np.isfinite(profile.best_at(first))
+        with pytest.raises(ValueError):
+            profile.best_at(0)
+
+    def test_max_size_truncation(self):
+        from repro.graph import planted_partition
+
+        graph = planted_partition(500, 5, 8.0, 1.0, seed=2)
+        profile = ncp_profile(
+            graph, num_seeds=3, alphas=(0.05,), eps_values=(1e-4,), max_size=50, rng=1
+        )
+        assert profile.max_size == 50
+        assert len(profile.conductance) == 50
+
+    def test_explicit_seeds(self):
+        from repro.graph import planted_partition
+
+        graph = planted_partition(500, 5, 8.0, 1.0, seed=2)
+        profile = ncp_profile(
+            graph, alphas=(0.05,), eps_values=(1e-4,), seeds=[0, 100, 200], rng=1
+        )
+        assert profile.runs == 3
+
+
+class TestLogBinning:
+    def test_binned_profile(self, planted_ncp):
+        _, profile = planted_ncp
+        centers, minima = log_binned(profile)
+        assert len(centers) == len(minima)
+        assert len(centers) <= len(profile.sizes())
+        assert (np.diff(centers) > 0).all()
+
+    def test_binned_minima_are_lower_envelopes(self, planted_ncp):
+        _, profile = planted_ncp
+        _, minima = log_binned(profile)
+        sizes, phis = profile.series()
+        assert minima.min() == pytest.approx(phis.min())
+
+    def test_empty_profile(self):
+        empty = NCPResult(max_size=10, conductance=np.full(10, np.inf), runs=0)
+        centers, minima = log_binned(empty)
+        assert len(centers) == 0 and len(minima) == 0

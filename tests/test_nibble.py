@@ -1,0 +1,129 @@
+"""Tests for Nibble (repro.core.nibble)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NibbleParams, nibble, nibble_parallel, nibble_sequential, sweep_cut
+from repro.graph import cycle_graph, planted_partition, star_graph
+from repro.core.result import vector_items
+
+
+def _as_dict(result):
+    keys, values = vector_items(result.vector)
+    return dict(zip(keys.tolist(), values.tolist()))
+
+
+class TestParams:
+    def test_defaults(self):
+        params = NibbleParams()
+        assert params.max_iterations == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NibbleParams(max_iterations=0)
+        with pytest.raises(ValueError):
+            NibbleParams(eps=0.0)
+        with pytest.raises(ValueError):
+            NibbleParams(eps=1.5)
+
+
+class TestDynamics:
+    def test_one_iteration_lazy_walk_step(self, small_cycle):
+        # After one step from vertex 0 on a cycle: 1/2 stays, 1/4 each side.
+        params = NibbleParams(max_iterations=1, eps=1e-6)
+        result = nibble_sequential(small_cycle, 0, params)
+        masses = _as_dict(result)
+        assert masses[0] == pytest.approx(0.5)
+        assert masses[1] == pytest.approx(0.25)
+        assert masses[11] == pytest.approx(0.25)
+
+    def test_mass_never_exceeds_one(self, planted):
+        result = nibble(planted, 0, NibbleParams(15, 1e-5))
+        keys, values = vector_items(result.vector)
+        assert values.sum() <= 1.0 + 1e-9
+        assert (values >= 0).all()
+
+    def test_mass_conserved_while_no_truncation(self, small_cycle):
+        # On a small cycle with tiny eps nothing is truncated: mass stays 1.
+        result = nibble(small_cycle, 0, NibbleParams(5, 1e-9))
+        _, values = vector_items(result.vector)
+        assert values.sum() == pytest.approx(1.0)
+
+    def test_truncation_loses_mass(self, planted):
+        # A large eps truncates aggressively; total mass strictly drops.
+        result = nibble(planted, 0, NibbleParams(10, 5e-3))
+        _, values = vector_items(result.vector)
+        assert values.sum() < 1.0
+
+    def test_empty_frontier_returns_previous_vector(self, star_graph_fixture=None):
+        # On a star from the hub with huge eps, mass at spokes drops below
+        # eps*d quickly; the algorithm must return the *previous* vector
+        # (Figure 3, line 15), which still sums to 1.
+        graph = star_graph(50)
+        result = nibble(graph, 0, NibbleParams(20, eps=0.5))
+        _, values = vector_items(result.vector)
+        assert values.sum() == pytest.approx(1.0)
+        assert result.iterations < 20
+
+    def test_respects_iteration_cap(self, planted):
+        result = nibble(planted, 0, NibbleParams(3, 1e-9))
+        assert result.iterations == 3
+
+    def test_multi_seed(self, planted):
+        result = nibble(planted, np.array([0, 1, 2]), NibbleParams(5, 1e-6))
+        masses = _as_dict(result)
+        assert sum(masses.values()) <= 1.0 + 1e-9
+        assert result.support_size() > 3
+
+
+class TestSequentialParallelEquivalence:
+    @pytest.mark.parametrize("eps", [1e-4, 1e-5, 1e-6])
+    def test_same_vector(self, planted, eps):
+        params = NibbleParams(12, eps)
+        seq = nibble_sequential(planted, 0, params)
+        par = nibble_parallel(planted, 0, params)
+        seq_masses = _as_dict(seq)
+        par_masses = _as_dict(par)
+        assert set(seq_masses) == set(par_masses)
+        for key, value in seq_masses.items():
+            assert par_masses[key] == pytest.approx(value, rel=1e-9, abs=1e-15)
+        assert seq.iterations == par.iterations
+        assert seq.pushes == par.pushes
+
+    def test_same_cluster(self, planted, planted_community):
+        params = NibbleParams(15, 1e-5)
+        seq = sweep_cut(planted, nibble_sequential(planted, 0, params).vector)
+        par = sweep_cut(planted, nibble_parallel(planted, 0, params).vector)
+        assert np.array_equal(seq.best_cluster, par.best_cluster)
+
+
+class TestLocality:
+    def test_work_bounded_by_touched_not_graph(self, planted):
+        # Support and touched edges stay tiny relative to the graph when
+        # eps is large — the "local running time" property.
+        result = nibble(planted, 0, NibbleParams(20, 1e-3))
+        assert result.support_size() < planted.num_vertices / 4
+        assert result.touched_edges < planted.total_volume / 4
+
+    def test_frontier_sizes_recorded(self, planted):
+        result = nibble_parallel(planted, 0, NibbleParams(5, 1e-6))
+        sizes = result.extras["frontier_sizes"]
+        assert len(sizes) == result.iterations
+        assert sizes[0] == 1  # the seed
+
+
+class TestRecovery:
+    def test_finds_planted_community(self, planted, planted_community):
+        result = nibble(planted, 0, NibbleParams(20, 1e-6))
+        sweep = sweep_cut(planted, result.vector)
+        found = set(sweep.best_cluster.tolist())
+        truth = set(planted_community.tolist())
+        overlap = len(found & truth) / len(found | truth)
+        assert overlap > 0.8
+        assert sweep.best_conductance < 0.3
+
+    def test_seed_required(self, planted):
+        with pytest.raises(ValueError):
+            nibble(planted, np.array([], dtype=np.int64), NibbleParams())

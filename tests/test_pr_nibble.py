@@ -1,0 +1,155 @@
+"""Tests for PR-Nibble (repro.core.pr_nibble), both rules, both schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PRNibbleParams,
+    pr_nibble,
+    pr_nibble_parallel,
+    pr_nibble_sequential,
+    sweep_cut,
+)
+from repro.core.result import vector_items
+
+
+def _total_mass(result):
+    _, p_values = vector_items(result.vector)
+    return p_values.sum() + result.extras["residual_mass"]
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PRNibbleParams(alpha=0.0)
+        with pytest.raises(ValueError):
+            PRNibbleParams(alpha=1.0)
+        with pytest.raises(ValueError):
+            PRNibbleParams(eps=0.0)
+        with pytest.raises(ValueError):
+            PRNibbleParams(beta=0.0)
+        with pytest.raises(ValueError):
+            PRNibbleParams(beta=1.2)
+        with pytest.raises(ValueError):
+            PRNibbleParams(max_iterations=0)
+
+
+class TestMassConservation:
+    """Both update rules conserve |p|_1 + |r|_1 = 1 exactly (Section 3.3)."""
+
+    @pytest.mark.parametrize("optimized", [True, False])
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_invariant(self, planted, optimized, parallel):
+        params = PRNibbleParams(alpha=0.05, eps=1e-5, optimized=optimized)
+        result = pr_nibble(planted, 0, params, parallel=parallel)
+        assert _total_mass(result) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTermination:
+    @pytest.mark.parametrize("parallel", [True, False])
+    def test_all_residuals_below_threshold(self, planted, parallel):
+        params = PRNibbleParams(alpha=0.05, eps=1e-5)
+        result = pr_nibble(planted, 0, params, parallel=parallel)
+        residual = result.extras["residual"]
+        keys, values = vector_items(residual)
+        degrees = planted.degrees(keys)
+        assert (values < params.eps * degrees + 1e-15).all()
+
+    def test_work_bound_theorem3(self, planted):
+        # Total pushed volume is at most 1/(eps*alpha) for both schedules.
+        params = PRNibbleParams(alpha=0.05, eps=1e-5)
+        for parallel in (True, False):
+            result = pr_nibble(planted, 0, params, parallel=parallel)
+            assert result.touched_edges <= 1.0 / (params.eps * params.alpha)
+
+
+class TestTable1Shape:
+    """The relationships the paper's Table 1 reports."""
+
+    def test_parallel_pushes_modestly_higher(self, planted):
+        params = PRNibbleParams(alpha=0.05, eps=1e-6)
+        seq = pr_nibble_sequential(planted, 0, params)
+        par = pr_nibble_parallel(planted, 0, params)
+        assert par.pushes >= seq.pushes
+        assert par.pushes <= 3.0 * seq.pushes  # paper: at most ~1.6x, usually less
+        # Iterations are far fewer than pushes: parallelism is abundant.
+        assert par.iterations < par.pushes / 5
+        # Sequential "iterations" equal pushes by convention.
+        assert seq.iterations == seq.pushes
+
+
+class TestUpdateRules:
+    def test_optimized_and_original_find_same_cluster(self, planted, planted_community):
+        # "both versions return clusters with the same conductance" (Fig 4).
+        truth = set(planted_community.tolist())
+        clusters = {}
+        for optimized in (True, False):
+            params = PRNibbleParams(alpha=0.05, eps=1e-6, optimized=optimized)
+            result = pr_nibble(planted, 0, params)
+            sweep = sweep_cut(planted, result.vector)
+            clusters[optimized] = sweep.best_conductance
+            found = set(sweep.best_cluster.tolist())
+            assert len(found & truth) / len(found | truth) > 0.8
+        assert clusters[True] == pytest.approx(clusters[False], rel=0.1)
+
+    def test_optimized_needs_fewer_pushes(self, planted):
+        # The optimization zeroes the residual per push instead of halving
+        # it, so it needs strictly fewer pushes (the Figure 4 speedup).
+        slow = pr_nibble_sequential(planted, 0, PRNibbleParams(0.05, 1e-6, optimized=False))
+        fast = pr_nibble_sequential(planted, 0, PRNibbleParams(0.05, 1e-6, optimized=True))
+        assert fast.pushes < slow.pushes
+
+    def test_smaller_eps_does_more_work(self, planted):
+        # Figure 8(c): decreasing eps increases running time.
+        coarse = pr_nibble(planted, 0, PRNibbleParams(0.05, 1e-4))
+        fine = pr_nibble(planted, 0, PRNibbleParams(0.05, 1e-6))
+        assert fine.touched_edges > coarse.touched_edges
+        assert fine.support_size() >= coarse.support_size()
+
+
+class TestBetaVariant:
+    def test_beta_one_matches_default(self, planted):
+        a = pr_nibble_parallel(planted, 0, PRNibbleParams(0.05, 1e-5, beta=1.0))
+        b = pr_nibble_parallel(planted, 0, PRNibbleParams(0.05, 1e-5))
+        assert a.pushes == b.pushes
+        assert a.iterations == b.iterations
+
+    def test_beta_fraction_trades_iterations_for_work(self, planted):
+        full = pr_nibble_parallel(planted, 0, PRNibbleParams(0.05, 1e-5, beta=1.0))
+        half = pr_nibble_parallel(planted, 0, PRNibbleParams(0.05, 1e-5, beta=0.5))
+        assert half.iterations >= full.iterations
+        # Still terminates with the residual invariant intact.
+        assert _total_mass(half) == pytest.approx(1.0, abs=1e-9)
+
+    def test_beta_still_meets_work_bound(self, planted):
+        params = PRNibbleParams(alpha=0.05, eps=1e-5, beta=0.3)
+        result = pr_nibble_parallel(planted, 0, params)
+        assert result.touched_edges <= 1.0 / (params.eps * params.alpha)
+
+
+class TestSchedulesAgree:
+    def test_sequential_and_parallel_find_same_cluster(self, planted):
+        params = PRNibbleParams(alpha=0.05, eps=1e-6)
+        seq = sweep_cut(planted, pr_nibble_sequential(planted, 0, params).vector)
+        par = sweep_cut(planted, pr_nibble_parallel(planted, 0, params).vector)
+        seq_set = set(seq.best_cluster.tolist())
+        par_set = set(par.best_cluster.tolist())
+        assert len(seq_set & par_set) / len(seq_set | par_set) > 0.8
+        assert seq.best_conductance == pytest.approx(par.best_conductance, rel=0.15)
+
+
+class TestSeeds:
+    def test_multi_seed_mass_split(self, planted):
+        result = pr_nibble(planted, np.array([0, 150]), PRNibbleParams(0.05, 1e-5))
+        assert _total_mass(result) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_seed_rejected(self, planted):
+        with pytest.raises(ValueError):
+            pr_nibble(planted, np.array([], dtype=np.int64), PRNibbleParams())
+
+    def test_max_iterations_caps_parallel_loop(self, planted):
+        params = PRNibbleParams(alpha=0.05, eps=1e-7, max_iterations=3)
+        result = pr_nibble_parallel(planted, 0, params)
+        assert result.iterations == 3

@@ -1,0 +1,67 @@
+"""Tests for the batched atomic analogues (repro.prims.atomics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prims import combine_duplicates, compare_and_swap, fetch_and_add
+
+
+class TestFetchAndAdd:
+    def test_duplicates_accumulate(self):
+        target = np.zeros(4)
+        fetch_and_add(target, np.array([1, 1, 2]), np.array([1.0, 2.0, 3.0]))
+        assert target.tolist() == [0.0, 3.0, 3.0, 0.0]
+
+    def test_scalar_delta(self):
+        target = np.zeros(3)
+        fetch_and_add(target, np.array([0, 0, 2]), 1.0)
+        assert target.tolist() == [2.0, 0.0, 1.0]
+
+    @given(st.lists(st.integers(0, 9), max_size=50))
+    def test_matches_sequential_loop(self, indices):
+        target = np.zeros(10)
+        fetch_and_add(target, np.asarray(indices, dtype=np.int64), 1.0)
+        expected = np.zeros(10)
+        for i in indices:
+            expected[i] += 1.0
+        assert np.array_equal(target, expected)
+
+
+class TestCompareAndSwap:
+    def test_success_and_failure(self):
+        target = np.array([1.0, 2.0])
+        assert compare_and_swap(target, 0, 1.0, 5.0)
+        assert target[0] == 5.0
+        assert not compare_and_swap(target, 1, 99.0, 7.0)
+        assert target[1] == 2.0
+
+
+class TestCombineDuplicates:
+    def test_basic(self):
+        keys, sums = combine_duplicates(np.array([5, 3, 5]), np.array([1.0, 2.0, 3.0]))
+        assert keys.tolist() == [3, 5]
+        assert sums.tolist() == [2.0, 4.0]
+
+    def test_empty(self):
+        keys, sums = combine_duplicates(np.array([], dtype=np.int64), np.array([]))
+        assert len(keys) == 0 and len(sums) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            combine_duplicates(np.array([1]), np.array([1.0, 2.0]))
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.floats(-5, 5)), max_size=80))
+    def test_matches_dict_model(self, pairs):
+        keys = np.asarray([k for k, _ in pairs], dtype=np.int64)
+        values = np.asarray([v for _, v in pairs])
+        got_keys, got_sums = combine_duplicates(keys, values)
+        model: dict[int, float] = {}
+        for k, v in pairs:
+            model[k] = model.get(k, 0.0) + v
+        assert got_keys.tolist() == sorted(model)
+        for k, s in zip(got_keys.tolist(), got_sums.tolist()):
+            assert s == pytest.approx(model[k], rel=1e-9, abs=1e-9)

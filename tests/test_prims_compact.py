@@ -1,0 +1,60 @@
+"""Tests for filter/pack (repro.prims.compact)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.prims import filter_array, pack, pack_index
+from repro.runtime import track
+
+
+class TestPack:
+    def test_example(self):
+        out = pack(np.array([10, 20, 30]), np.array([True, False, True]))
+        assert out.tolist() == [10, 30]
+
+    def test_empty(self):
+        assert len(pack(np.array([]), np.array([], dtype=bool))) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.array([1, 2]), np.array([True]))
+
+    @given(
+        npst.arrays(np.int64, st.integers(0, 100), elements=st.integers(-100, 100)),
+        st.data(),
+    )
+    def test_matches_comprehension_and_preserves_order(self, values, data):
+        flags = data.draw(
+            npst.arrays(np.bool_, len(values), elements=st.booleans())
+        )
+        expected = [v for v, f in zip(values.tolist(), flags.tolist()) if f]
+        assert pack(values, flags).tolist() == expected
+
+    def test_records_work(self):
+        with track() as tracker:
+            pack(np.arange(64), np.arange(64) % 2 == 0)
+        assert tracker.work == 64
+        assert tracker.by_category["filter"].work == 64
+
+
+class TestPackIndex:
+    def test_example(self):
+        assert pack_index(np.array([False, True, True, False])).tolist() == [1, 2]
+
+    def test_all_false(self):
+        assert len(pack_index(np.zeros(5, dtype=bool))) == 0
+
+
+class TestFilterArray:
+    def test_vectorised_predicate(self):
+        out = filter_array(np.arange(10), lambda xs: xs % 3 == 0)
+        assert out.tolist() == [0, 3, 6, 9]
+
+    def test_bad_predicate_shape(self):
+        with pytest.raises(ValueError):
+            filter_array(np.arange(4), lambda xs: np.array([True]))

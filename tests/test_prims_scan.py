@@ -1,0 +1,99 @@
+"""Tests for prefix sums (repro.prims.scan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.prims import (
+    argmin_via_scan,
+    exclusive_prefix_sum,
+    prefix_max,
+    prefix_min,
+    prefix_sum,
+)
+from repro.runtime import track
+
+float_arrays = npst.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=0, max_value=200),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+int_arrays = npst.arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=0, max_value=200),
+    elements=st.integers(min_value=-10**6, max_value=10**6),
+)
+
+
+class TestPrefixSum:
+    def test_example_from_docstring(self):
+        assert prefix_sum(np.array([1, 2, 3])).tolist() == [1, 3, 6]
+
+    def test_empty(self):
+        assert len(prefix_sum(np.array([], dtype=np.int64))) == 0
+
+    @given(int_arrays)
+    def test_matches_cumsum(self, values):
+        assert np.array_equal(prefix_sum(values), np.cumsum(values))
+
+    @given(float_arrays)
+    def test_min_operator(self, values):
+        result = prefix_min(values)
+        assert np.array_equal(result, np.minimum.accumulate(values)) or len(values) == 0
+
+    @given(float_arrays)
+    def test_max_operator(self, values):
+        result = prefix_max(values)
+        assert np.array_equal(result, np.maximum.accumulate(values)) or len(values) == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            prefix_sum(np.zeros((2, 2)))
+
+    def test_records_linear_work_log_depth(self):
+        with track() as tracker:
+            prefix_sum(np.arange(1024))
+        assert tracker.work == 1024
+        assert tracker.depth == 10
+
+
+class TestExclusivePrefixSum:
+    def test_example(self):
+        offsets, total = exclusive_prefix_sum(np.array([2, 3, 1]))
+        assert offsets.tolist() == [0, 2, 5]
+        assert total == 6
+
+    def test_empty(self):
+        offsets, total = exclusive_prefix_sum(np.array([], dtype=np.int64))
+        assert len(offsets) == 0
+        assert total == 0
+
+    @given(int_arrays)
+    def test_relation_to_inclusive(self, values):
+        offsets, total = exclusive_prefix_sum(values)
+        if len(values) == 0:
+            return
+        inclusive = np.cumsum(values)
+        assert offsets[0] == 0
+        assert np.array_equal(offsets[1:], inclusive[:-1])
+        assert total == inclusive[-1]
+
+
+class TestArgminViaScan:
+    def test_simple(self):
+        assert argmin_via_scan(np.array([3.0, 1.0, 2.0])) == 1
+
+    def test_tie_resolves_to_earliest(self):
+        assert argmin_via_scan(np.array([2.0, 1.0, 1.0])) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            argmin_via_scan(np.array([]))
+
+    @given(float_arrays.filter(lambda a: len(a) > 0))
+    def test_matches_argmin(self, values):
+        assert argmin_via_scan(values) == int(np.argmin(values))

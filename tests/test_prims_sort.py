@@ -1,0 +1,85 @@
+"""Tests for parallel sorting primitives (repro.prims.sort)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.prims import (
+    comparison_sort,
+    comparison_sort_order,
+    integer_sort,
+    integer_sort_order,
+)
+from repro.runtime import track
+
+nonneg_arrays = npst.arrays(
+    np.int64, st.integers(0, 300), elements=st.integers(0, 2**40)
+)
+
+
+class TestComparisonSort:
+    @given(npst.arrays(np.float64, st.integers(0, 200), elements=st.floats(-1e9, 1e9)))
+    def test_matches_npsort(self, values):
+        assert np.array_equal(comparison_sort(values), np.sort(values))
+
+    @given(npst.arrays(np.int64, st.integers(1, 100), elements=st.integers(-50, 50)))
+    def test_order_is_stable_permutation(self, keys):
+        order = comparison_sort_order(keys)
+        assert sorted(order.tolist()) == list(range(len(keys)))
+        sorted_keys = keys[order]
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        # Stability: equal keys keep their original relative order.
+        for value in np.unique(keys):
+            positions = order[sorted_keys == value]
+            assert np.array_equal(positions, np.sort(positions))
+
+    def test_records_nlogn_work(self):
+        with track() as tracker:
+            comparison_sort(np.arange(256))
+        assert tracker.work == 256 * 8
+
+
+class TestIntegerSort:
+    @given(nonneg_arrays)
+    def test_matches_npsort(self, keys):
+        assert np.array_equal(integer_sort(keys), np.sort(keys))
+
+    @given(nonneg_arrays.filter(lambda a: len(a) > 0))
+    def test_order_is_stable_permutation(self, keys):
+        order = integer_sort_order(keys)
+        assert sorted(order.tolist()) == list(range(len(keys)))
+        sorted_keys = keys[order]
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        for value in np.unique(keys):
+            positions = order[sorted_keys == value]
+            assert np.array_equal(positions, np.sort(positions))
+
+    def test_empty(self):
+        assert len(integer_sort(np.array([], dtype=np.int64))) == 0
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(ValueError):
+            integer_sort(np.array([1, -2, 3]))
+
+    def test_rejects_float_keys(self):
+        with pytest.raises(TypeError):
+            integer_sort(np.array([1.0, 2.0]))
+
+    def test_max_key_hint_small_range_single_pass_work(self):
+        # Keys below the radix (2^11) need one pass; a huge max_key forces
+        # more passes and thus more recorded work.
+        keys = np.arange(1000)[::-1].copy()
+        with track() as one_pass:
+            integer_sort(keys, max_key=999)
+        with track() as many_pass:
+            integer_sort(keys, max_key=2**40)
+        assert one_pass.work < many_pass.work
+
+    @given(st.integers(1, 10**6))
+    def test_single_value_arrays(self, value):
+        keys = np.full(17, value, dtype=np.int64)
+        assert np.array_equal(integer_sort(keys), keys)

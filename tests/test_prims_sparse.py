@@ -1,0 +1,126 @@
+"""Tests for the sparse sets (repro.prims.sparse)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prims import SparseDict, SparseVector
+
+
+class TestSparseDict:
+    def test_missing_key_reads_bottom(self):
+        p = SparseDict()
+        assert p[123] == 0.0
+        assert 123 not in p  # reading does not materialise an entry
+        assert len(p) == 0
+
+    def test_set_and_add(self):
+        p = SparseDict()
+        p[1] = 2.0
+        p.add(1, 0.5)
+        p.add(2, 1.0)
+        assert p[1] == 2.5
+        assert p[2] == 1.0
+        assert p.nnz == 2
+
+    def test_copy_is_independent(self):
+        p = SparseDict({1: 1.0})
+        q = p.copy()
+        q[1] = 9.0
+        assert p[1] == 1.0
+
+    def test_l1_norm(self):
+        p = SparseDict({1: 0.5, 2: -0.25})
+        assert p.l1_norm() == 0.75
+
+    def test_items_and_iter(self):
+        p = SparseDict({1: 1.0, 2: 2.0})
+        assert dict(p.items()) == {1: 1.0, 2: 2.0}
+        assert sorted(p) == [1, 2]
+        assert sorted(p.keys()) == [1, 2]
+
+    def test_to_dict_detached(self):
+        p = SparseDict({3: 1.0})
+        d = p.to_dict()
+        d[3] = 5.0
+        assert p[3] == 1.0
+
+
+class TestSparseVector:
+    def test_bottom_semantics(self):
+        v = SparseVector()
+        assert v[55] == 0.0
+        assert v.get(np.array([1, 2])).tolist() == [0.0, 0.0]
+        assert len(v) == 0
+
+    def test_from_pairs_and_items(self):
+        v = SparseVector.from_pairs(np.array([4, 2]), np.array([1.0, 2.0]))
+        assert v.to_dict() == {4: 1.0, 2: 2.0}
+
+    def test_from_pairs_broadcast_scalar(self):
+        v = SparseVector.from_pairs(np.array([1, 2, 3]), 0.25)
+        assert v.to_dict() == {1: 0.25, 2: 0.25, 3: 0.25}
+
+    def test_from_dict(self):
+        v = SparseVector.from_dict({7: 1.5, 8: 2.5})
+        assert v.to_dict() == {7: 1.5, 8: 2.5}
+
+    def test_add_aggregates_duplicates(self):
+        v = SparseVector()
+        v.add(np.array([3, 3, 4]), np.array([0.5, 0.5, 1.0]))
+        assert v.to_dict() == {3: 1.0, 4: 1.0}
+
+    def test_set_then_get_roundtrip(self):
+        v = SparseVector()
+        keys = np.arange(100, dtype=np.int64) * 7
+        values = np.linspace(0, 1, 100)
+        v.set(keys, values)
+        assert np.allclose(v.get(keys), values)
+
+    def test_scalar_interface(self):
+        v = SparseVector()
+        v[9] = 1.0
+        v.add_scalar(9, 0.5)
+        assert v[9] == 1.5
+        assert 9 in v and 10 not in v
+
+    def test_copy_is_independent(self):
+        v = SparseVector.from_pairs(np.array([1]), np.array([1.0]))
+        w = v.copy()
+        w.add(np.array([1]), np.array([1.0]))
+        assert v[1] == 1.0
+        assert w[1] == 2.0
+
+    def test_l1_norm_and_nnz(self):
+        v = SparseVector.from_pairs(np.array([1, 2]), np.array([0.5, -0.5]))
+        assert v.l1_norm() == 1.0
+        assert v.nnz == 2
+
+    def test_keys_match_items(self):
+        v = SparseVector.from_pairs(np.array([10, 20, 30]), 1.0)
+        assert sorted(v.keys().tolist()) == [10, 20, 30]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            max_size=100,
+        )
+    )
+    def test_add_matches_dict_model(self, updates):
+        v = SparseVector()
+        model: dict[int, float] = {}
+        if updates:
+            keys = np.asarray([k for k, _ in updates], dtype=np.int64)
+            deltas = np.asarray([d for _, d in updates])
+            v.add(keys, deltas)
+            for k, d in updates:
+                model[k] = model.get(k, 0.0) + d
+        assert v.nnz == len(model)
+        for k, value in model.items():
+            assert v[k] == pytest.approx(value, rel=1e-9, abs=1e-12)

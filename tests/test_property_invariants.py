@@ -1,0 +1,126 @@
+"""Cross-cutting property tests: paper invariants on arbitrary random graphs.
+
+Hypothesis drives graph topology (edge lists over a bounded vertex set) and
+seeds; the properties are the ones the paper's analysis rests on, so they
+must hold on *every* graph, not just the well-behaved fixtures:
+
+* sweep conductances always in [0, 1] (0 only for whole components);
+* PR-Nibble conserves mass and terminates below threshold;
+* Nibble never creates mass;
+* HK-PR parallel == sequential;
+* the conductance metric agrees with its complement-set symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HKPRParams,
+    NibbleParams,
+    PRNibbleParams,
+    boundary_size,
+    hk_pr_parallel,
+    hk_pr_sequential,
+    nibble,
+    pr_nibble,
+    sweep_cut,
+)
+from repro.core.result import vector_items
+from repro.graph import from_edge_list
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 24), st.integers(0, 24)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _connected_seed(graph):
+    degrees = graph.degrees()
+    eligible = np.flatnonzero(degrees > 0)
+    return None if len(eligible) == 0 else int(eligible[0])
+
+
+@settings(max_examples=30)
+@given(edge_lists)
+def test_sweep_conductances_in_unit_interval(edges):
+    graph = from_edge_list(edges, num_vertices=25)
+    seed = _connected_seed(graph)
+    if seed is None:
+        return
+    result = pr_nibble(graph, seed, PRNibbleParams(alpha=0.1, eps=1e-4))
+    if result.support_size() == 0:
+        return
+    sweep = sweep_cut(graph, result.vector)
+    assert (sweep.conductances >= 0).all()
+    assert (sweep.conductances <= 1.0).all()
+    assert 0 <= sweep.best_index < len(sweep.order)
+    # Conductance 0 can only occur for a prefix with no boundary at all
+    # (a union of whole connected components).
+    zero = sweep.conductances == 0.0
+    if zero.any():
+        first_zero = int(np.flatnonzero(zero)[0])
+        members = sweep.order[: first_zero + 1]
+        assert boundary_size(graph, members) == 0
+
+
+@settings(max_examples=30)
+@given(edge_lists, st.booleans(), st.booleans())
+def test_pr_nibble_mass_and_termination(edges, optimized, parallel):
+    graph = from_edge_list(edges, num_vertices=25)
+    seed = _connected_seed(graph)
+    if seed is None:
+        return
+    params = PRNibbleParams(alpha=0.1, eps=1e-4, optimized=optimized)
+    result = pr_nibble(graph, seed, params, parallel=parallel)
+    _, p_values = vector_items(result.vector)
+    total = p_values.sum() + result.extras["residual_mass"]
+    assert total == pytest.approx(1.0, abs=1e-9)
+    res_keys, res_values = vector_items(result.extras["residual"])
+    degrees = graph.degrees(res_keys)
+    assert (res_values < params.eps * degrees + 1e-12).all()
+
+
+@settings(max_examples=30)
+@given(edge_lists, st.booleans())
+def test_nibble_never_creates_mass(edges, parallel):
+    graph = from_edge_list(edges, num_vertices=25)
+    seed = _connected_seed(graph)
+    if seed is None:
+        return
+    result = nibble(graph, seed, NibbleParams(max_iterations=8, eps=1e-4), parallel=parallel)
+    _, values = vector_items(result.vector)
+    assert values.sum() <= 1.0 + 1e-9
+    assert (values >= 0).all()
+
+
+@settings(max_examples=20)
+@given(edge_lists)
+def test_hk_pr_schedules_identical(edges):
+    graph = from_edge_list(edges, num_vertices=25)
+    seed = _connected_seed(graph)
+    if seed is None:
+        return
+    params = HKPRParams(t=3.0, taylor_degree=6, eps=1e-3)
+    seq_keys, seq_values = vector_items(hk_pr_sequential(graph, seed, params).vector)
+    par_keys, par_values = vector_items(hk_pr_parallel(graph, seed, params).vector)
+    seq = dict(zip(seq_keys.tolist(), seq_values.tolist()))
+    par = dict(zip(par_keys.tolist(), par_values.tolist()))
+    assert set(seq) == set(par)
+    for key, value in seq.items():
+        assert par[key] == pytest.approx(value, rel=1e-9, abs=1e-15)
+
+
+@settings(max_examples=30)
+@given(edge_lists, st.sets(st.integers(0, 24), min_size=1, max_size=12))
+def test_boundary_symmetry(edges, vertex_set):
+    graph = from_edge_list(edges, num_vertices=25)
+    inside = np.asarray(sorted(vertex_set), dtype=np.int64)
+    outside = np.setdiff1d(np.arange(25), inside)
+    if len(outside) == 0:
+        return
+    assert boundary_size(graph, inside) == boundary_size(graph, outside)

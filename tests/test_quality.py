@@ -1,0 +1,86 @@
+"""Tests for cluster quality metrics against the paper's Figure 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ClusterStats, boundary_size, cluster_stats, conductance, volume
+from repro.graph import complete_graph, from_edge_list, planted_partition
+
+
+class TestFigure1Values:
+    """The exact values printed in the paper's Figure 1 table."""
+
+    def test_volume(self, figure1):
+        assert volume(figure1, [0]) == 2
+        assert volume(figure1, [0, 1]) == 4
+        assert volume(figure1, [0, 1, 2]) == 7
+        assert volume(figure1, [0, 1, 2, 3]) == 11
+
+    def test_boundary(self, figure1):
+        assert boundary_size(figure1, [0]) == 2
+        assert boundary_size(figure1, [0, 1]) == 2
+        assert boundary_size(figure1, [0, 1, 2]) == 1
+        assert boundary_size(figure1, [0, 1, 2, 3]) == 3
+
+    def test_conductance(self, figure1):
+        assert conductance(figure1, [0]) == pytest.approx(2 / min(2, 14))
+        assert conductance(figure1, [0, 1]) == pytest.approx(2 / min(4, 12))
+        assert conductance(figure1, [0, 1, 2]) == pytest.approx(1 / min(7, 9))
+        assert conductance(figure1, [0, 1, 2, 3]) == pytest.approx(3 / min(11, 5))
+
+
+class TestEdgeCases:
+    def test_empty_cluster_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            conductance(figure1, [])
+
+    def test_whole_graph_conductance_is_one(self, figure1):
+        assert conductance(figure1, np.arange(8)) == 1.0
+
+    def test_duplicate_vertices_ignored(self, figure1):
+        assert volume(figure1, [0, 0, 1]) == 4
+
+    def test_isolated_vertex(self):
+        graph = from_edge_list([(0, 1)], num_vertices=3)
+        assert volume(graph, [2]) == 0
+        assert boundary_size(graph, [2]) == 0
+        assert conductance(graph, [2]) == 1.0  # 0/0 convention
+
+    def test_half_of_clique(self):
+        graph = complete_graph(6)
+        half = np.arange(3)
+        # 3x3 crossing edges; each side has volume 15.
+        assert boundary_size(graph, half) == 9
+        assert conductance(graph, half) == pytest.approx(9 / 15)
+
+
+class TestClusterStats:
+    def test_consistent_with_parts(self, figure1):
+        stats = cluster_stats(figure1, [0, 1, 2])
+        assert stats == ClusterStats(size=3, volume=7, boundary=1, conductance=1 / 7)
+        assert "phi=" in str(stats)
+
+    def test_symmetry_of_cut(self, planted):
+        # |∂(S)| = |∂(V \ S)| — the boundary is shared.
+        inside = np.arange(100)
+        outside = np.arange(100, planted.num_vertices)
+        assert boundary_size(planted, inside) == boundary_size(planted, outside)
+
+    @given(st.lists(st.integers(0, 199), min_size=1, max_size=50))
+    def test_matches_bruteforce_on_planted(self, vertices):
+        graph = planted_partition(200, 4, 6.0, 1.0, seed=3)
+        cluster = np.unique(np.asarray(vertices, dtype=np.int64))
+        members = set(cluster.tolist())
+        brute_cut = 0
+        brute_vol = 0
+        for v in members:
+            for w in graph.neighbors_of(v).tolist():
+                if w not in members:
+                    brute_cut += 1
+            brute_vol += graph.degree(v)
+        assert boundary_size(graph, cluster) == brute_cut
+        assert volume(graph, cluster) == brute_vol

@@ -1,0 +1,145 @@
+"""Tests for randomized heat kernel PageRank (repro.core.rand_hk_pr)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RandHKPRParams,
+    aggregate_by_fetch_add,
+    aggregate_by_sort,
+    rand_hk_pr,
+    rand_hk_pr_parallel,
+    rand_hk_pr_sequential,
+    sample_walk_lengths,
+    sweep_cut,
+)
+from repro.core.result import vector_items
+from repro.graph import cycle_graph, path_graph
+
+
+def _as_array(graph, result):
+    dense = np.zeros(graph.num_vertices)
+    keys, values = vector_items(result.vector)
+    dense[keys] = values
+    return dense
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandHKPRParams(t=0.0)
+        with pytest.raises(ValueError):
+            RandHKPRParams(max_walk_length=-1)
+        with pytest.raises(ValueError):
+            RandHKPRParams(num_walks=0)
+
+
+class TestWalkLengths:
+    def test_truncated_at_k(self, rng):
+        params = RandHKPRParams(t=10.0, max_walk_length=5, num_walks=10_000)
+        lengths = sample_walk_lengths(rng, params)
+        assert lengths.max() <= 5
+        assert lengths.min() >= 0
+
+    def test_poisson_mean_before_truncation(self, rng):
+        # With K far above t the truncation is immaterial: mean ~ t.
+        params = RandHKPRParams(t=4.0, max_walk_length=50, num_walks=50_000)
+        lengths = sample_walk_lengths(rng, params)
+        assert lengths.mean() == pytest.approx(4.0, abs=0.1)
+
+
+class TestDistribution:
+    def test_mass_is_exactly_one(self, planted):
+        params = RandHKPRParams(t=5.0, max_walk_length=8, num_walks=5_000)
+        for parallel in (True, False):
+            result = rand_hk_pr(planted, 0, params, parallel=parallel, rng=1)
+            _, values = vector_items(result.vector)
+            assert values.sum() == pytest.approx(1.0)
+
+    def test_support_within_k_hops(self):
+        graph = path_graph(30)
+        params = RandHKPRParams(t=2.0, max_walk_length=4, num_walks=2_000)
+        result = rand_hk_pr(graph, 15, params, rng=0)
+        keys, _ = vector_items(result.vector)
+        assert (np.abs(keys - 15) <= 4).all()
+
+    def test_matches_exact_heat_kernel_statistically(self):
+        # On a cycle, compare the empirical distribution against the exact
+        # truncated heat kernel e^{-t} sum t^k/k! P^k s (total variation).
+        graph = cycle_graph(12)
+        t, k_max = 3.0, 20
+        params = RandHKPRParams(t=t, max_walk_length=k_max, num_walks=200_000)
+        result = rand_hk_pr_parallel(graph, 0, params, rng=7)
+        empirical = _as_array(graph, result)
+
+        n = graph.num_vertices
+        adjacency = np.zeros((n, n))
+        for v in range(n):
+            adjacency[graph.neighbors_of(v), v] = 1.0
+        walk = adjacency / graph.degrees()[None, :]
+        seed_vec = np.zeros(n)
+        seed_vec[0] = 1.0
+        exact = np.zeros(n)
+        term = seed_vec.copy()
+        tail = 1.0
+        for k in range(k_max):
+            weight = math.exp(-t) * t**k / math.factorial(k)
+            exact += weight * term
+            tail -= weight
+            term = walk @ term
+        exact += tail * term  # truncated mass lands at length-K walks
+        total_variation = 0.5 * np.abs(empirical - exact).sum()
+        assert total_variation < 0.01
+
+    def test_sequential_and_parallel_similar(self, planted):
+        params = RandHKPRParams(t=4.0, max_walk_length=8, num_walks=3_000)
+        seq = _as_array(planted, rand_hk_pr_sequential(planted, 0, params, rng=3))
+        par = _as_array(planted, rand_hk_pr_parallel(planted, 0, params, rng=4))
+        total_variation = 0.5 * np.abs(seq - par).sum()
+        assert total_variation < 0.25  # same distribution, independent samples
+
+    def test_deterministic_given_rng_seed(self, planted):
+        params = RandHKPRParams(t=4.0, max_walk_length=6, num_walks=2_000)
+        a = _as_array(planted, rand_hk_pr_parallel(planted, 0, params, rng=9))
+        b = _as_array(planted, rand_hk_pr_parallel(planted, 0, params, rng=9))
+        assert np.array_equal(a, b)
+
+
+class TestAggregation:
+    def test_sort_and_fetch_add_agree(self, rng):
+        destinations = rng.integers(0, 50, size=5_000)
+        by_sort = aggregate_by_sort(destinations, 5_000)
+        by_add = aggregate_by_fetch_add(destinations, 5_000)
+        assert by_sort.to_dict() == pytest.approx(by_add.to_dict())
+
+    def test_sort_aggregation_counts(self):
+        destinations = np.array([3, 1, 3, 3, 1, 9])
+        vector = aggregate_by_sort(destinations, 6)
+        assert vector.to_dict() == pytest.approx({1: 2 / 6, 3: 3 / 6, 9: 1 / 6})
+
+    def test_invalid_aggregation_rejected(self, planted):
+        with pytest.raises(ValueError):
+            rand_hk_pr_parallel(
+                planted, 0, RandHKPRParams(num_walks=10), aggregation="bogus"
+            )
+
+
+class TestRecovery:
+    def test_finds_planted_community(self, planted, planted_community):
+        params = RandHKPRParams(t=5.0, max_walk_length=10, num_walks=20_000)
+        result = rand_hk_pr(planted, 0, params, rng=0)
+        sweep = sweep_cut(planted, result.vector)
+        found = set(sweep.best_cluster.tolist())
+        truth = set(planted_community.tolist())
+        assert len(found & truth) / len(found | truth) > 0.7
+
+    def test_dead_end_walks_stop(self):
+        graph = path_graph(2)  # walks bounce between two vertices
+        params = RandHKPRParams(t=1.0, max_walk_length=3, num_walks=500)
+        result = rand_hk_pr(graph, 0, params, rng=0)
+        _, values = vector_items(result.vector)
+        assert values.sum() == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Tests for the result containers (repro.core.result)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import ClusterResult, DiffusionResult, SweepResult, vector_items
+from repro.prims import SparseDict, SparseVector
+
+
+class TestVectorItems:
+    def test_from_plain_dict(self):
+        keys, values = vector_items({3: 1.0, 1: 2.0})
+        assert dict(zip(keys.tolist(), values.tolist())) == {3: 1.0, 1: 2.0}
+
+    def test_from_sparse_dict(self):
+        keys, values = vector_items(SparseDict({5: 0.5}))
+        assert keys.tolist() == [5]
+        assert values.tolist() == [0.5]
+
+    def test_from_sparse_vector(self):
+        vector = SparseVector.from_dict({7: 1.5, 9: 2.5})
+        keys, values = vector_items(vector)
+        assert dict(zip(keys.tolist(), values.tolist())) == {7: 1.5, 9: 2.5}
+
+    def test_empty_dict(self):
+        keys, values = vector_items({})
+        assert len(keys) == 0 and len(values) == 0
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            vector_items([1, 2, 3])
+
+
+class TestDiffusionResult:
+    def test_support_size(self):
+        result = DiffusionResult(
+            vector=SparseDict({1: 1.0, 2: 2.0}), iterations=3, pushes=5, touched_edges=7
+        )
+        assert result.support_size() == 2
+        assert result.extras == {}
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def sweep(self):
+        return SweepResult(
+            order=np.array([4, 2, 9]),
+            conductances=np.array([0.5, 0.2, 0.9]),
+            volumes=np.array([2, 5, 11]),
+            cuts=np.array([1, 1, 9]),
+            best_index=1,
+        )
+
+    def test_best_cluster(self, sweep):
+        assert sweep.best_cluster.tolist() == [4, 2]
+        assert sweep.best_conductance == pytest.approx(0.2)
+        assert sweep.num_candidates == 3
+
+    def test_str(self, sweep):
+        assert "|S*|=2" in str(sweep)
+
+
+class TestClusterResult:
+    def test_str_and_size(self):
+        diffusion = DiffusionResult(
+            vector=SparseDict({1: 1.0}), iterations=2, pushes=2, touched_edges=4
+        )
+        sweep = SweepResult(
+            order=np.array([1]),
+            conductances=np.array([0.3]),
+            volumes=np.array([2]),
+            cuts=np.array([1]),
+            best_index=0,
+        )
+        result = ClusterResult(
+            cluster=np.array([1]),
+            conductance=0.3,
+            algorithm="pr-nibble",
+            params={"alpha": 0.01},
+            diffusion=diffusion,
+            sweep=sweep,
+        )
+        assert result.size == 1
+        assert "pr-nibble" in str(result)

@@ -1,0 +1,116 @@
+"""Tests for the work-depth tracker (repro.runtime.cost_model)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    WorkDepthTracker,
+    current_tracker,
+    log2ceil,
+    record,
+    track,
+)
+
+
+class TestLog2Ceil:
+    def test_small_values(self):
+        assert log2ceil(0) == 0.0
+        assert log2ceil(1) == 0.0
+        assert log2ceil(2) == 1.0
+        assert log2ceil(3) == 2.0
+        assert log2ceil(8) == 3.0
+        assert log2ceil(9) == 4.0
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_bounds(self, n):
+        d = log2ceil(n)
+        assert 2 ** (d - 1) < n <= 2**d
+
+
+class TestTracker:
+    def test_record_accumulates(self):
+        tracker = WorkDepthTracker()
+        tracker.record(10, 2, category="scan")
+        tracker.record(5, 1, category="sort")
+        assert tracker.work == 15
+        assert tracker.depth == 3
+        assert tracker.by_category["scan"].work == 10
+        assert tracker.by_category["sort"].depth == 1
+
+    def test_rounds_counts_nonzero_depth_records(self):
+        tracker = WorkDepthTracker()
+        tracker.record(10, 0)
+        tracker.record(10, 1)
+        tracker.record(10, 2)
+        assert tracker.rounds == 2
+
+    def test_negative_rejected(self):
+        tracker = WorkDepthTracker()
+        with pytest.raises(ValueError):
+            tracker.record(-1, 0)
+        with pytest.raises(ValueError):
+            tracker.record(0, -1)
+
+    def test_snapshot(self):
+        tracker = WorkDepthTracker()
+        tracker.record(3, 1, category="hash")
+        assert tracker.snapshot() == {"hash": (3.0, 1.0)}
+
+    def test_merge(self):
+        a = WorkDepthTracker()
+        a.record(5, 1, category="scan")
+        b = WorkDepthTracker()
+        b.record(7, 2, category="scan")
+        b.record(1, 1, category="sort")
+        a.merge(b)
+        assert a.work == 13
+        assert a.depth == 4
+        assert a.by_category["scan"].work == 12
+        assert a.by_category["sort"].work == 1
+
+
+class TestTrackContext:
+    def test_record_noop_outside_context(self):
+        assert current_tracker() is None
+        record(1000, 10)  # must not raise and must not leak anywhere
+
+    def test_track_captures(self):
+        with track() as tracker:
+            record(42, 3, category="filter")
+        assert tracker.work == 42
+        assert tracker.depth == 3
+
+    def test_tracker_cleared_after_exit(self):
+        with track():
+            pass
+        assert current_tracker() is None
+
+    def test_nested_tracks_fold_into_outer(self):
+        with track() as outer:
+            record(1, 0)
+            with track() as inner:
+                record(10, 2, category="sort")
+            record(2, 0)
+        assert inner.work == 10
+        assert outer.work == 13
+        assert outer.depth == 2
+        assert outer.by_category["sort"].work == 10
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(min_value=0, max_value=1e3),
+            ),
+            max_size=30,
+        )
+    )
+    def test_totals_are_sums(self, records):
+        with track() as tracker:
+            for work, depth in records:
+                record(work, depth)
+        assert tracker.work == pytest.approx(sum(w for w, _ in records))
+        assert tracker.depth == pytest.approx(sum(d for _, d in records))

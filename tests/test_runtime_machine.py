@@ -1,0 +1,108 @@
+"""Tests for the simulated multicore machine (repro.runtime.machine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import DEFAULT_CONTENTION, PAPER_MACHINE, MachineModel, WorkDepthTracker
+
+
+def _profile(work: float, depth: float, category: str = "misc") -> WorkDepthTracker:
+    tracker = WorkDepthTracker()
+    tracker.record(work, depth, category=category)
+    return tracker
+
+
+class TestThreadAccounting:
+    def test_threads_for_cores_paper_convention(self):
+        # One thread per core below the core count; hyper-threading at the top.
+        assert PAPER_MACHINE.threads_for_cores(1) == 1
+        assert PAPER_MACHINE.threads_for_cores(16) == 16
+        assert PAPER_MACHINE.threads_for_cores(40) == 80
+
+    def test_threads_for_cores_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.threads_for_cores(0)
+
+    def test_raw_parallelism_linear_then_smt(self):
+        assert PAPER_MACHINE.raw_parallelism(10) == 10
+        assert PAPER_MACHINE.raw_parallelism(40) == 40
+        # 80 threads = 40 cores + 40 hyper-threads at smt_gain each.
+        expected = 40 + PAPER_MACHINE.smt_gain * 40
+        assert PAPER_MACHINE.raw_parallelism(80) == pytest.approx(expected)
+
+    def test_raw_parallelism_caps_at_max_threads(self):
+        assert PAPER_MACHINE.raw_parallelism(1000) == PAPER_MACHINE.raw_parallelism(80)
+
+    def test_effective_parallelism_below_raw(self):
+        for threads in (2, 8, 40, 80):
+            raw = PAPER_MACHINE.raw_parallelism(threads)
+            for category in DEFAULT_CONTENTION:
+                assert PAPER_MACHINE.effective_parallelism(threads, category) <= raw
+
+    def test_contention_ordering(self):
+        # Independent random walks contend less than scattered edge updates.
+        walks = PAPER_MACHINE.effective_parallelism(80, "walk")
+        edges = PAPER_MACHINE.effective_parallelism(80, "edge_map")
+        assert walks > edges
+
+
+class TestSimulatedTime:
+    def test_monotone_decreasing_in_cores_for_work_heavy_profile(self):
+        profile = _profile(work=1e8, depth=100)
+        times = [PAPER_MACHINE.simulated_time_on_cores(profile, c) for c in (1, 2, 4, 8, 16, 40)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_depth_dominated_profile_does_not_speed_up(self):
+        # Tiny work, long critical path: the paper's 3D-grid / nlpkkt240
+        # situation ("not enough work to benefit from parallelism").
+        profile = _profile(work=10, depth=1e6)
+        assert PAPER_MACHINE.self_relative_speedup(profile, 40) < 1.5
+
+    def test_speedup_bands_match_paper(self):
+        # Work-dominated edge_map-heavy profile: the diffusions' regime.
+        diffusion = _profile(work=1e9, depth=1e3, category="edge_map")
+        speedup = PAPER_MACHINE.self_relative_speedup(diffusion, 40)
+        assert 9.0 <= speedup <= 35.0
+        # Walk-dominated profile: rand-HK-PR exceeds 40x thanks to SMT.
+        walks = _profile(work=1e9, depth=1e3, category="walk")
+        assert PAPER_MACHINE.self_relative_speedup(walks, 40) > 40.0
+
+    def test_speedup_curve_shape(self):
+        profile = _profile(work=1e9, depth=1e3, category="edge_map")
+        curve = PAPER_MACHINE.speedup_curve(profile, [1, 2, 4, 8, 16, 24, 32, 40])
+        assert curve[0] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(curve, curve[1:]))
+
+    def test_mixed_categories_sum(self):
+        tracker = WorkDepthTracker()
+        tracker.record(1e6, 10, category="sort")
+        tracker.record(1e6, 10, category="walk")
+        mixed = PAPER_MACHINE.simulated_time(tracker, 40)
+        sort_only = PAPER_MACHINE.simulated_time(_profile(1e6, 10, "sort"), 40)
+        walk_only = PAPER_MACHINE.simulated_time(_profile(1e6, 10, "walk"), 40)
+        # Work terms add; the shared depth term is counted once per record.
+        assert mixed == pytest.approx(sort_only + walk_only, rel=1e-9)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            PAPER_MACHINE.simulated_time(_profile(1, 1), threads=0)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MachineModel(physical_cores=0)
+        with pytest.raises(ValueError):
+            MachineModel(smt_per_core=0)
+        with pytest.raises(ValueError):
+            MachineModel(smt_gain=1.5)
+
+    def test_custom_machine(self):
+        laptop = MachineModel(physical_cores=4, smt_per_core=2, smt_gain=0.2)
+        assert laptop.max_threads == 8
+        assert laptop.threads_for_cores(4) == 8
+        profile = _profile(1e8, 10, "scan")
+        assert laptop.self_relative_speedup(profile, 4) < PAPER_MACHINE.self_relative_speedup(
+            profile, 40
+        )

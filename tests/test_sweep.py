@@ -1,0 +1,131 @@
+"""Tests for the sweep cut (repro.core.sweep), sequential and Theorem 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sweep_cut, sweep_cut_parallel, sweep_cut_sequential, sweep_order
+from repro.graph import erdos_renyi, from_edge_list, planted_partition
+from repro.prims import SparseDict, SparseVector
+
+# Mass vector giving the sweep order {A, B, C, D} on the Figure-1 graph:
+# scores p/d are A: 0.5, B: 0.45, C: 0.4, D: 0.375.
+FIGURE1_VECTOR = {0: 1.0, 1: 0.9, 2: 1.2, 3: 1.5}
+
+
+class TestPaperWorkedExample:
+    """Section 3.1 works the algorithm on Figure 1 with order {A, B, C, D}."""
+
+    def test_order(self, figure1):
+        ordered, degrees = sweep_order(figure1, FIGURE1_VECTOR)
+        assert ordered.tolist() == [0, 1, 2, 3]
+        assert degrees.tolist() == [2, 2, 3, 4]
+
+    def test_sequential_volumes_and_cuts(self, figure1):
+        result = sweep_cut_sequential(figure1, FIGURE1_VECTOR)
+        # "the array of degrees is [2, 2, 3, 4], and the result of the
+        #  prefix sums is [2, 4, 7, 11]"
+        assert result.volumes.tolist() == [2, 4, 7, 11]
+        # "We find the number of crossing edges for the set {A} ... 2,
+        #  {A,B} ... 2, {A,B,C} ... 1, and {A,B,C,D} ... 3."
+        assert result.cuts.tolist() == [2, 2, 1, 3]
+        assert result.conductances.tolist() == pytest.approx([1.0, 0.5, 1 / 7, 3 / 5])
+
+    def test_parallel_matches_worked_example(self, figure1):
+        result = sweep_cut_parallel(figure1, FIGURE1_VECTOR)
+        assert result.volumes.tolist() == [2, 4, 7, 11]
+        assert result.cuts.tolist() == [2, 2, 1, 3]
+        assert result.conductances.tolist() == pytest.approx([1.0, 0.5, 1 / 7, 3 / 5])
+
+    def test_best_set_is_abc(self, figure1):
+        for parallel in (False, True):
+            result = sweep_cut(figure1, FIGURE1_VECTOR, parallel=parallel)
+            assert sorted(result.best_cluster.tolist()) == [0, 1, 2]
+            assert result.best_conductance == pytest.approx(1 / 7)
+
+
+class TestInputHandling:
+    def test_accepts_sparse_dict(self, figure1):
+        vector = SparseDict(FIGURE1_VECTOR)
+        assert sweep_cut(figure1, vector).best_conductance == pytest.approx(1 / 7)
+
+    def test_accepts_sparse_vector(self, figure1):
+        vector = SparseVector.from_dict(FIGURE1_VECTOR)
+        assert sweep_cut(figure1, vector).best_conductance == pytest.approx(1 / 7)
+
+    def test_zero_and_negative_mass_excluded(self, figure1):
+        vector = dict(FIGURE1_VECTOR)
+        vector[6] = 0.0
+        vector[7] = -1.0
+        result = sweep_cut(figure1, vector)
+        assert result.num_candidates == 4
+
+    def test_zero_degree_vertices_excluded(self):
+        graph = from_edge_list([(0, 1)], num_vertices=3)
+        result = sweep_cut(graph, {0: 1.0, 2: 5.0})
+        assert result.order.tolist() == [0]
+
+    def test_empty_vector_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            sweep_cut(figure1, {})
+        with pytest.raises(ValueError):
+            sweep_cut(figure1, {0: 0.0})
+
+    def test_tie_break_by_vertex_id(self, small_cycle):
+        # All scores equal: order must be by ascending id in both variants.
+        vector = {v: 1.0 for v in range(6)}
+        seq = sweep_cut_sequential(small_cycle, vector)
+        par = sweep_cut_parallel(small_cycle, vector)
+        assert seq.order.tolist() == list(range(6))
+        assert par.order.tolist() == list(range(6))
+
+
+class TestSequentialParallelEquivalence:
+    @settings(max_examples=25)
+    @given(st.integers(0, 10**6), st.integers(2, 60))
+    def test_random_graphs_and_vectors(self, seed, support):
+        rng = np.random.default_rng(seed)
+        graph = erdos_renyi(120, 400, seed=rng.integers(2**31))
+        degrees = graph.degrees()
+        eligible = np.flatnonzero(degrees > 0)
+        if len(eligible) == 0:
+            return
+        chosen = rng.choice(eligible, size=min(support, len(eligible)), replace=False)
+        vector = {int(v): float(rng.random() + 1e-6) for v in chosen}
+        seq = sweep_cut_sequential(graph, vector)
+        par = sweep_cut_parallel(graph, vector)
+        assert np.array_equal(seq.order, par.order)
+        assert np.array_equal(seq.volumes, par.volumes)
+        assert np.array_equal(seq.cuts, par.cuts)
+        assert np.allclose(seq.conductances, par.conductances)
+        assert seq.best_index == par.best_index
+
+    def test_larger_planted_graph(self, planted):
+        rng = np.random.default_rng(42)
+        vector = {int(v): float(rng.random()) + 0.01 for v in range(0, 400)}
+        seq = sweep_cut_sequential(planted, vector)
+        par = sweep_cut_parallel(planted, vector)
+        assert np.array_equal(seq.cuts, par.cuts)
+        assert seq.best_index == par.best_index
+
+
+class TestSweepSemantics:
+    def test_full_graph_prefix_gets_conductance_one(self, figure1):
+        # Sweeping a vector supported on every vertex: the last prefix has
+        # vol = 2m, denominator 0, conductance 1 by convention.
+        vector = {v: 1.0 for v in range(8)}
+        result = sweep_cut(figure1, vector)
+        assert result.conductances[-1] == 1.0
+
+    def test_finds_planted_cut(self, planted, planted_community):
+        # Indicator mass on the planted community must recover it exactly.
+        vector = {int(v): 1.0 for v in planted_community}
+        result = sweep_cut(planted, vector)
+        assert sorted(result.best_cluster.tolist()) == planted_community.tolist()
+
+    def test_result_str(self, figure1):
+        text = str(sweep_cut(figure1, FIGURE1_VECTOR))
+        assert "N=4" in text and "phi*=" in text
