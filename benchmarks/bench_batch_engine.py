@@ -1,0 +1,103 @@
+"""Batch engine — cross-query throughput scaling.
+
+The paper's NCP experiment (Figure 12) issues 10^5 independent PR-Nibble
+queries; this benchmark measures how fast the batch engine drains such a
+stream as workers are added.  Unlike Figures 9-10 (which *simulate* the
+paper's 40-core machine for intra-query parallelism), this is a real
+wall-clock measurement of cross-query parallelism on the host: a
+(seed x alpha x eps) job grid on the soc-LJ proxy, run through the serial
+backend and through process pools of increasing size.
+
+Expected shape on a multi-core host: jobs/s grows with workers until the
+core count (or the pool's IPC overhead) saturates.  Every configuration
+must produce the bit-identical NCP profile — the engine's determinism
+contract — which is asserted, not just printed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench import batched_run, format_seconds, format_table, write_csv
+from repro.core.seeding import random_seeds
+from repro.engine import BatchEngine, NCPReducer, job_grid
+
+GRAPH = "soc-LJ"
+NUM_SEEDS = 16
+ALPHAS = (0.05, 0.01)
+EPS_VALUES = (1e-4, 1e-5)
+
+
+def _worker_counts() -> list[int]:
+    cores = os.cpu_count() or 1
+    counts = [1, 2, 4]
+    return [w for w in counts if w <= max(2, cores)]
+
+
+def _run_experiment(graph):
+    seeds = random_seeds(graph, NUM_SEEDS, rng=3)
+    grid = {"alpha": ALPHAS, "eps": EPS_VALUES}
+    runs = {}
+    jobs = list(job_grid(seeds, "pr-nibble", grid))
+    serial = BatchEngine(graph, backend="serial", include_vectors=False)
+    runs["serial"] = batched_run(serial, jobs, NCPReducer(graph.num_vertices))
+    for workers in _worker_counts():
+        engine = BatchEngine(
+            graph, backend="process", workers=workers, include_vectors=False
+        )
+        runs[f"process-{workers}"] = batched_run(
+            engine, jobs, NCPReducer(graph.num_vertices)
+        )
+    return runs
+
+
+def test_batch_engine_scaling(benchmark, graphs):
+    graph = graphs[GRAPH]
+    runs = benchmark.pedantic(lambda: _run_experiment(graph), rounds=1, iterations=1)
+
+    baseline = runs["serial"]
+    headers = ["backend", "workers", "jobs", "wall", "jobs/s", "speedup"]
+    rows = []
+    for name, run in runs.items():
+        rows.append(
+            [
+                name,
+                run.workers,
+                run.stats.jobs,
+                format_seconds(run.wall_seconds),
+                f"{run.jobs_per_second:.1f}",
+                f"{baseline.wall_seconds / run.wall_seconds:.2f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Batch engine throughput: {GRAPH} proxy, "
+            f"{baseline.stats.jobs} PR-Nibble jobs, {os.cpu_count()} host cores",
+        )
+    )
+    write_csv(
+        "bench_batch_engine",
+        ["backend", "workers", "jobs", "wall_seconds", "jobs_per_second"],
+        [
+            [name, run.workers, run.stats.jobs, run.wall_seconds, run.jobs_per_second]
+            for name, run in runs.items()
+        ],
+    )
+
+    expected_jobs = NUM_SEEDS * len(ALPHAS) * len(EPS_VALUES)
+    assert baseline.stats.jobs == expected_jobs
+    # Determinism contract: every backend and worker count produces the
+    # bit-identical NCP profile.
+    for name, run in runs.items():
+        assert run.value.runs == baseline.value.runs, name
+        assert np.array_equal(run.value.conductance, baseline.value.conductance), name
+    # On a multi-core host the pool must actually scale throughput; on a
+    # single core we only require that fan-out works and stays correct.
+    if (os.cpu_count() or 1) >= 2:
+        best = max(run.jobs_per_second for name, run in runs.items() if name != "serial")
+        assert best > 1.05 * baseline.jobs_per_second

@@ -20,6 +20,9 @@ Subpackages
 -----------
 ``repro.core``
     The clustering algorithms, sweep cut, quality metrics, NCP driver.
+``repro.engine``
+    Batch executor: independent diffusion jobs fanned across a process
+    pool (or run serially) and aggregated through reducers.
 ``repro.graph``
     CSR graphs, builders, generators, IO, Table-2 proxy registry.
 ``repro.ligra``
@@ -30,7 +33,7 @@ Subpackages
     Work-depth instrumentation and the simulated multicore machine.
 """
 
-from . import bench, core, graph, ligra, prims, runtime
+from . import bench, core, engine, graph, ligra, prims, runtime
 from .core import (
     ALGORITHMS,
     ClusterResult,
@@ -40,6 +43,7 @@ from .core import (
     NibbleParams,
     PRNibbleParams,
     RandHKPRParams,
+    cluster_many,
     cluster_stats,
     conductance,
     evolving_set_process,
@@ -51,6 +55,7 @@ from .core import (
     rand_hk_pr,
     sweep_cut,
 )
+from .engine import BatchEngine, DiffusionJob, job_grid
 from .graph import CSRGraph, load_proxy
 from .runtime import PAPER_MACHINE, MachineModel, track
 
@@ -59,12 +64,17 @@ __version__ = "1.0.0"
 __all__ = [
     "bench",
     "core",
+    "engine",
     "graph",
     "ligra",
     "prims",
     "runtime",
     "ALGORITHMS",
+    "BatchEngine",
     "ClusterResult",
+    "DiffusionJob",
+    "job_grid",
+    "cluster_many",
     "EvolvingSetParams",
     "HKPRParams",
     "LocalClusterer",

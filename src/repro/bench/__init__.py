@@ -1,8 +1,10 @@
 """Benchmark harness utilities shared by the ``benchmarks/`` scripts."""
 
 from .harness import (
+    BatchRun,
     ProfiledRun,
     ascii_series,
+    batched_run,
     format_seconds,
     format_table,
     profiled_run,
@@ -11,8 +13,10 @@ from .harness import (
 )
 
 __all__ = [
+    "BatchRun",
     "ProfiledRun",
     "ascii_series",
+    "batched_run",
     "format_seconds",
     "format_table",
     "profiled_run",

@@ -21,6 +21,8 @@ from ..runtime import PAPER_MACHINE, MachineModel, WorkDepthTracker, track
 __all__ = [
     "ProfiledRun",
     "profiled_run",
+    "BatchRun",
+    "batched_run",
     "results_dir",
     "write_csv",
     "format_table",
@@ -54,6 +56,45 @@ def profiled_run(fn: Callable[[], T]) -> ProfiledRun:
         value = fn()
     elapsed = time.perf_counter() - start
     return ProfiledRun(value=value, tracker=tracker, wall_seconds=elapsed)
+
+
+@dataclass
+class BatchRun:
+    """One measured batch-engine run: reduced value, stats and wall time.
+
+    The throughput quantity benchmarks care about is wall-clock jobs/s at
+    a given worker count — per-job times summed across a pool overcount,
+    so :class:`~repro.engine.reducers.BatchStats` and the wall clock are
+    kept side by side.
+    """
+
+    value: Any
+    stats: Any
+    wall_seconds: float
+    workers: int
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.stats.jobs_per_second(self.wall_seconds)
+
+
+def batched_run(engine: Any, jobs: Iterable[Any], reducer: Any = None) -> BatchRun:
+    """Run ``jobs`` through a :class:`repro.engine.BatchEngine` under a wall
+    clock, always collecting :class:`BatchStats` alongside the caller's
+    reducer.  ``value`` is the caller-reducer's final, or ``None`` when no
+    reducer is given (stats-only timing run)."""
+    from ..engine import StatsReducer
+
+    stats_reducer = StatsReducer()
+    reducers = [reducer, stats_reducer] if reducer is not None else [stats_reducer]
+    start = time.perf_counter()
+    finals = engine.run(jobs, reducers)
+    elapsed = time.perf_counter() - start
+    if reducer is not None:
+        value, stats = finals
+    else:
+        value, stats = None, finals[0]
+    return BatchRun(value=value, stats=stats, wall_seconds=elapsed, workers=engine.workers)
 
 
 def results_dir() -> Path:

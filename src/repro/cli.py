@@ -12,17 +12,23 @@ Commands
     the work-depth profile with simulated paper-machine times.
 ``ncp``
     Generate a network community profile (Figure-12 style) as CSV.
+``batch``
+    Run a whole stream of diffusion jobs (seeds x parameter grid) through
+    the batch engine — optionally across a process pool — writing one CSV
+    row per job plus a throughput summary.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from .core import ALGORITHMS, cluster_stats, local_cluster, ncp_profile
+from .core import ALGORITHMS, cluster_stats, local_cluster, ncp_profile, random_seeds
+from .engine import BatchEngine, BestClusterReducer, StatsReducer, job_grid
 from .graph import (
     PROXIES,
     grid_3d,
@@ -86,21 +92,30 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scalar(raw: str) -> object:
+    """int, else float, else the raw string — the --param value grammar."""
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+def _parse_params(pairs: list[str], flag: str = "--param") -> dict[str, object]:
+    overrides: dict[str, object] = {}
+    for setting in pairs:
+        if "=" not in setting:
+            raise SystemExit(f"error: {flag} expects key=value, got {setting!r}")
+        key, _, raw = setting.partition("=")
+        overrides[key] = _parse_scalar(raw)
+    return overrides
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
-    overrides = {}
-    for setting in args.param:
-        if "=" not in setting:
-            raise SystemExit(f"error: --param expects key=value, got {setting!r}")
-        key, _, raw = setting.partition("=")
-        try:
-            value: object = int(raw)
-        except ValueError:
-            try:
-                value = float(raw)
-            except ValueError:
-                value = raw
-        overrides[key] = value
+    overrides = _parse_params(args.param)
     seed = args.seed if args.seed is not None else int(np.argmax(graph.degrees()))
 
     if args.profile:
@@ -134,6 +149,7 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
         alphas=tuple(args.alpha),
         eps_values=tuple(args.eps),
         rng=args.rng,
+        workers=args.workers,
     )
     sizes, phis = profile.series()
     out = Path(args.output)
@@ -144,6 +160,75 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
     best = sizes[np.argmin(phis)]
     print(f"{profile.runs} runs; best cluster: size {best}, phi {phis.min():.4f}")
     print(f"wrote {len(sizes)} points to {out}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    if args.seed:
+        seeds = np.asarray(args.seed, dtype=np.int64)
+        bad = seeds[(seeds < 0) | (seeds >= graph.num_vertices)]
+        if len(bad):
+            raise SystemExit(
+                f"error: seed {bad[0]} out of range for {graph!r} "
+                f"(vertex ids are 0..{graph.num_vertices - 1})"
+            )
+    else:
+        seeds = random_seeds(graph, args.num_seeds, rng=args.rng)
+    grid: dict[str, list[object]] = {}
+    for setting in args.grid:
+        if "=" not in setting:
+            raise SystemExit(f"error: --grid expects key=v1,v2,..., got {setting!r}")
+        key, _, raw = setting.partition("=")
+        values = [_parse_scalar(item) for item in raw.split(",") if item]
+        if not values:
+            raise SystemExit(f"error: --grid axis {key!r} has no values")
+        grid[key] = values
+    fixed = _parse_params(args.param)
+    jobs = list(job_grid(seeds, args.method, grid, params=fixed, rng=args.rng))
+
+    workers = max(1, args.workers)
+    engine = BatchEngine(
+        graph,
+        backend="process" if workers > 1 else "serial",
+        workers=workers,
+        include_vectors=False,
+    )
+    # Stream outcomes straight to CSV so a large batch never lives in memory.
+    stats_reducer = StatsReducer()
+    best_reducer = BestClusterReducer()
+    out = Path(args.output)
+    start = time.perf_counter()
+    with out.open("w", encoding="ascii") as handle:
+        handle.write("job,method,seed,params,support,size,conductance,pushes,iterations,seconds\n")
+        for outcome in engine.map(jobs):
+            stats_reducer.update(outcome)
+            best_reducer.update(outcome)
+            settings = ";".join(f"{k}={v}" for k, v in sorted(outcome.job.params.items()))
+            phi = f"{outcome.conductance:.6g}" if outcome.sweep is not None else ""
+            handle.write(
+                f"{outcome.index},{outcome.job.method},"
+                f"{' '.join(map(str, outcome.job.seeds))},{settings},"
+                f"{outcome.support_size},{outcome.size},{phi},"
+                f"{outcome.pushes},{outcome.iterations},{outcome.wall_seconds:.6f}\n"
+            )
+    wall = time.perf_counter() - start
+    stats = stats_reducer.finalize()
+    best = best_reducer.finalize()
+    print(
+        f"batch: {stats.jobs} jobs ({stats.completed} with support) on {graph!r} "
+        f"via {workers} worker(s)"
+    )
+    print(
+        f"throughput: {wall:.3f}s wall, {stats.jobs_per_second(wall):.1f} jobs/s, "
+        f"{stats.total_pushes} pushes, {stats.total_touched_edges} edges touched"
+    )
+    if best is not None:
+        print(
+            f"best cluster: |S|={best.size} phi={best.conductance:.5f} "
+            f"from job {best.index} ({best.job.describe()})"
+        )
+    print(f"wrote {stats.jobs} rows to {out}")
     return 0
 
 
@@ -194,7 +279,50 @@ def build_parser() -> argparse.ArgumentParser:
     ncp.add_argument("--alpha", type=float, action="append", default=None)
     ncp.add_argument("--eps", type=float, action="append", default=None)
     ncp.add_argument("--rng", type=int, default=0)
+    ncp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for the batch engine (1 = serial)",
+    )
     ncp.set_defaults(run=_cmd_ncp)
+
+    batch = commands.add_parser(
+        "batch", help="run a stream of diffusion jobs through the batch engine"
+    )
+    batch.add_argument("graph", help="proxy name or graph file")
+    batch.add_argument("output", help="output CSV path (one row per job)")
+    batch.add_argument("--method", choices=sorted(ALGORITHMS), default="pr-nibble")
+    batch.add_argument(
+        "--num-seeds", type=int, default=25, help="random seeds to draw (ignored with --seed)"
+    )
+    batch.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=[],
+        metavar="VERTEX",
+        help="explicit seed vertex (repeatable; overrides --num-seeds)",
+    )
+    batch.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="parameter axis to sweep, e.g. --grid alpha=0.05,0.01 (repeatable)",
+    )
+    batch.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fixed parameter override applied to every job (repeatable)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, help="process-pool workers (1 = serial)"
+    )
+    batch.add_argument("--rng", type=int, default=0)
+    batch.set_defaults(run=_cmd_batch)
     return parser
 
 

@@ -1,6 +1,6 @@
 """The paper's contribution: parallel local clustering algorithms + sweep cut."""
 
-from .api import ALGORITHMS, LocalClusterer, local_cluster
+from .api import ALGORITHMS, LocalClusterer, cluster_many, local_cluster
 from .evolving_sets import EvolvingSetParams, EvolvingSetResult, evolving_set_process
 from .hk_pr import HKPRParams, hk_pr, hk_pr_parallel, hk_pr_sequential, psi_coefficients
 from .ncp import NCPResult, log_binned, ncp_profile
@@ -23,6 +23,7 @@ from .sweep import sweep_cut, sweep_cut_parallel, sweep_cut_sequential, sweep_or
 __all__ = [
     "ALGORITHMS",
     "LocalClusterer",
+    "cluster_many",
     "local_cluster",
     "EvolvingSetParams",
     "EvolvingSetResult",

@@ -26,7 +26,7 @@ from .rand_hk_pr import RandHKPRParams, rand_hk_pr
 from .result import ClusterResult, DiffusionResult
 from .sweep import sweep_cut
 
-__all__ = ["ALGORITHMS", "local_cluster", "LocalClusterer"]
+__all__ = ["ALGORITHMS", "local_cluster", "cluster_many", "LocalClusterer"]
 
 #: method name -> (parameter dataclass, diffusion runner, takes_rng)
 ALGORITHMS: dict[str, tuple[type, Any, bool]] = {
@@ -84,6 +84,53 @@ def local_cluster(
         diffusion=diffusion,
         sweep=sweep,
     )
+
+
+def cluster_many(
+    graph: CSRGraph,
+    seeds: np.ndarray | list[int],
+    method: str = "pr-nibble",
+    parallel: bool = True,
+    rng: np.random.Generator | int = 0,
+    engine: "Any | str | None" = None,
+    workers: int | None = None,
+    **param_overrides: Any,
+) -> list[ClusterResult]:
+    """Run :func:`local_cluster` from many seeds as one batch.
+
+    The per-seed queries are independent, so they dispatch through the
+    batch engine (:mod:`repro.engine`): ``workers=4`` — or a prebuilt
+    :class:`repro.engine.BatchEngine` via ``engine`` — fans them across a
+    process pool; the default serial backend matches a plain Python loop
+    over :func:`local_cluster` result-for-result.  Randomized methods draw
+    one sub-seed per job from ``rng`` up front, so results do not depend
+    on the backend, the worker count, or the completion order.
+
+    Returns one :class:`ClusterResult` per entry of ``seeds``, in order.
+    """
+    from ..engine import DiffusionJob, resolve_engine
+
+    if method not in ALGORITHMS:
+        raise ValueError(f"unknown method {method!r}; choose from {sorted(ALGORITHMS)}")
+    seed_array = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
+    takes_rng = ALGORITHMS[method][2]
+    if takes_rng:
+        base = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        sub_seeds = base.integers(0, 2**63 - 1, size=len(seed_array))
+    else:
+        sub_seeds = np.zeros(len(seed_array), dtype=np.int64)
+    jobs = [
+        DiffusionJob.make(seed, method=method, params=param_overrides, rng=sub)
+        for seed, sub in zip(seed_array.tolist(), sub_seeds.tolist())
+    ]
+    batch = resolve_engine(graph, engine, workers=workers, parallel=parallel)
+    if not batch.include_vectors:
+        raise ValueError(
+            "cluster_many rebuilds full ClusterResults and needs the diffusion "
+            "vectors; pass an engine built with include_vectors=True"
+        )
+    outcomes = batch.run(jobs)
+    return [outcome.to_cluster_result() for outcome in outcomes]
 
 
 class LocalClusterer:

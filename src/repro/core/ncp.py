@@ -15,14 +15,12 @@ harvesting Leskovec et al. use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
-from .pr_nibble import PRNibbleParams, pr_nibble
 from .seeding import random_seeds
-from .sweep import sweep_cut
 
 __all__ = ["NCPResult", "ncp_profile", "log_binned"]
 
@@ -81,37 +79,36 @@ def ncp_profile(
     parallel: bool = True,
     rng: np.random.Generator | int = 0,
     seeds: Iterable[int] | None = None,
+    engine: "Any | str | None" = None,
+    workers: int | None = None,
 ) -> NCPResult:
     """Generate an NCP by sweeping PR-Nibble over seeds and parameters.
 
     Mirrors the paper's methodology ("running PR-Nibble from 10^5 random
     seed vertices and by varying alpha and eps") at configurable scale.
     ``max_size`` truncates the profile (Figure 12 plots sizes up to 10^5).
+
+    The (seed, alpha, eps) jobs are independent, so they run through the
+    batch engine: ``workers=4`` (or ``engine="process"``) fans them out
+    across a process pool; the default is the deterministic serial
+    backend, which reproduces the historical one-at-a-time loop exactly.
+    A prebuilt :class:`repro.engine.BatchEngine` is accepted via
+    ``engine`` for callers issuing many profiles against one graph.
+    The pointwise-minimum reduction is order- and partition-independent,
+    so results are bit-identical at every worker count.
     """
+    from ..engine import NCPReducer, job_grid, resolve_engine
+
     rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
     if seeds is None:
         seed_array = random_seeds(graph, num_seeds, rng=rng)
     else:
         seed_array = np.asarray(list(seeds), dtype=np.int64)
     limit = max_size if max_size is not None else graph.num_vertices
-    best = np.full(limit, np.inf, dtype=np.float64)
-    runs = 0
-
-    for seed in seed_array.tolist():
-        for alpha in alphas:
-            for eps in eps_values:
-                params = PRNibbleParams(alpha=alpha, eps=eps)
-                diffusion = pr_nibble(graph, seed, params, parallel=parallel)
-                if diffusion.support_size() == 0:
-                    continue
-                sweep = sweep_cut(graph, diffusion.vector, parallel=parallel)
-                runs += 1
-                count = min(len(sweep.order), limit)
-                phis = sweep.conductances[:count]
-                # A prefix with conductance exactly 0 is a whole connected
-                # component (no boundary edges) — not a meaningful local
-                # cluster.  The paper's inputs are connected, so this only
-                # arises on synthetic proxies with stray tiny components.
-                valid = phis > 0.0
-                np.minimum.at(best, np.flatnonzero(valid), phis[valid])
-    return NCPResult(max_size=limit, conductance=best, runs=runs)
+    jobs = job_grid(
+        seed_array, "pr-nibble", {"alpha": tuple(alphas), "eps": tuple(eps_values)}
+    )
+    batch = resolve_engine(
+        graph, engine, workers=workers, parallel=parallel, include_vectors=False
+    )
+    return batch.run(jobs, NCPReducer(limit))

@@ -216,7 +216,16 @@ def pr_nibble_parallel(
 
         # Only the old frontier and the pushed-to vertices can now be above
         # threshold (everything else is unchanged) — the local filter.
-        targets = pushed_targets[0] if pushed_targets else np.empty(0, dtype=np.int64)
+        # edge_map currently delivers all edges in one callback, but the
+        # contract allows several; fold every chunk into the candidates.
+        if pushed_targets:
+            targets = (
+                pushed_targets[0]
+                if len(pushed_targets) == 1
+                else np.concatenate(pushed_targets)
+            )
+        else:
+            targets = np.empty(0, dtype=np.int64)
         candidates = np.unique(np.concatenate([frontier.vertices, targets]))
         candidate_degrees = graph.degrees(candidates)
         residuals = r.get(candidates)

@@ -1,0 +1,58 @@
+"""Batch diffusion engine — cross-query parallelism for local clustering.
+
+The paper's algorithms parallelise *within* one query; its experiments
+(Table 3, Figure 12) run *many* independent queries — up to 10^5 seeds
+with varying alpha and eps.  This subsystem mechanises that outer loop:
+
+* :mod:`repro.engine.jobs` — :class:`DiffusionJob` (one picklable unit of
+  work) and :func:`job_grid` (seeds x parameter-grid streams).
+* :mod:`repro.engine.executor` — :class:`BatchEngine` dispatching jobs to
+  a :class:`SerialBackend` (deterministic default) or a
+  :class:`ProcessPoolBackend` that shares the read-only CSR arrays with
+  its workers, yielding :class:`JobOutcome` records in job order.
+* :mod:`repro.engine.reducers` — streaming aggregation of outcomes into
+  NCP profiles, best clusters, or throughput statistics.
+
+>>> from repro.graph import barbell_graph
+>>> from repro.engine import BatchEngine, NCPReducer, job_grid
+>>> graph = barbell_graph(8)
+>>> jobs = job_grid(range(4), "pr-nibble", {"alpha": (0.1,), "eps": (1e-4,)})
+>>> profile = BatchEngine(graph).run(jobs, NCPReducer(graph.num_vertices))
+>>> profile.runs
+4
+"""
+
+from .executor import (
+    BatchEngine,
+    JobOutcome,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_engine,
+    run_job,
+)
+from .jobs import DiffusionJob, job_grid
+from .reducers import (
+    BatchStats,
+    BestClusterReducer,
+    CollectReducer,
+    NCPReducer,
+    Reducer,
+    StatsReducer,
+)
+
+__all__ = [
+    "BatchEngine",
+    "JobOutcome",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "resolve_engine",
+    "run_job",
+    "DiffusionJob",
+    "job_grid",
+    "BatchStats",
+    "BestClusterReducer",
+    "CollectReducer",
+    "NCPReducer",
+    "Reducer",
+    "StatsReducer",
+]

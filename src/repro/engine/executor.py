@@ -1,0 +1,429 @@
+"""The batch executor: dispatch independent diffusion jobs across workers.
+
+The engine exploits the scale-out axis the paper's experiments rely on but
+its artifact never mechanised: *cross-query* parallelism.  Each
+:class:`~repro.engine.jobs.DiffusionJob` is an independent local
+computation (a diffusion plus a sweep cut), so a stream of jobs can be
+fanned out across a process pool while each individual job still uses the
+intra-query parallel (bulk-synchronous) implementations.
+
+Two backends implement the same contract — outcomes are delivered **in job
+order**, so every reducer sees a deterministic stream at any worker count:
+
+* :class:`SerialBackend` — runs jobs in the calling process.  The default,
+  the fallback, and the reference for determinism tests.
+* :class:`ProcessPoolBackend` — a ``multiprocessing`` pool.  Under the
+  (default, where available) ``fork`` start method the workers *share* the
+  parent's read-only CSR arrays through copy-on-write pages: the graph is
+  placed in module state before the fork and is never pickled, copied or
+  re-validated per job.  Under ``spawn``/``forkserver`` the arrays are
+  shipped to each worker once at pool start-up, not per job.
+
+Workers return compact, picklable :class:`JobOutcome` records (sweep
+profile + counters + optionally the diffusion vector as two arrays) rather
+than the algorithms' live sparse-set objects, keeping inter-process
+traffic proportional to each job's support size.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.api import ALGORITHMS
+from ..core.result import ClusterResult, DiffusionResult, SweepResult, vector_items
+from ..core.sweep import sweep_cut
+from ..graph.csr import CSRGraph
+from ..prims.sparse import SparseDict
+from ..runtime import record, track
+from .jobs import DiffusionJob
+from .reducers import CollectReducer, Reducer
+
+__all__ = [
+    "JobOutcome",
+    "run_job",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "BatchEngine",
+    "resolve_engine",
+]
+
+
+@dataclass
+class JobOutcome:
+    """The picklable result of one executed job.
+
+    Carries everything the reducers need: the job itself (echoed back),
+    diffusion counters, the full sweep profile, the per-job work-depth
+    totals and wall time, and — when the engine is configured with
+    ``include_vectors`` — the diffusion vector flattened to parallel
+    ``(keys, values)`` arrays.
+    """
+
+    index: int
+    job: DiffusionJob
+    support_size: int
+    iterations: int
+    pushes: int
+    touched_edges: int
+    residual_mass: float
+    work: float
+    depth: float
+    wall_seconds: float
+    sweep: SweepResult | None
+    vector_keys: np.ndarray | None = None
+    vector_values: np.ndarray | None = None
+
+    @property
+    def conductance(self) -> float:
+        """Best sweep conductance (``inf`` when the sweep was skipped)."""
+        return self.sweep.best_conductance if self.sweep is not None else float("inf")
+
+    @property
+    def cluster(self) -> np.ndarray:
+        """The best cluster, sorted by vertex id (empty when skipped)."""
+        if self.sweep is None:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(self.sweep.best_cluster)
+
+    @property
+    def size(self) -> int:
+        return len(self.cluster)
+
+    def diffusion(self) -> DiffusionResult:
+        """Rebuild a :class:`DiffusionResult` from the flattened vector."""
+        if self.vector_keys is None or self.vector_values is None:
+            raise ValueError(
+                "diffusion vector was not retained; run the engine with "
+                "include_vectors=True"
+            )
+        vector = SparseDict(
+            dict(zip(self.vector_keys.tolist(), self.vector_values.tolist()))
+        )
+        return DiffusionResult(
+            vector=vector,
+            iterations=self.iterations,
+            pushes=self.pushes,
+            touched_edges=self.touched_edges,
+            extras={"residual_mass": self.residual_mass},
+        )
+
+    def to_cluster_result(self) -> ClusterResult:
+        """Rebuild the high-level API's :class:`ClusterResult`."""
+        if self.sweep is None:
+            raise ValueError(
+                f"job {self.job.describe()} produced an empty diffusion; "
+                "no cluster to report"
+            )
+        from dataclasses import asdict
+
+        params_cls, _, _ = ALGORITHMS[self.job.method]
+        return ClusterResult(
+            cluster=self.cluster,
+            conductance=self.sweep.best_conductance,
+            algorithm=self.job.method,
+            params=asdict(params_cls(**self.job.params)),
+            diffusion=self.diffusion(),
+            sweep=self.sweep,
+        )
+
+
+def run_job(
+    graph: CSRGraph,
+    job: DiffusionJob,
+    index: int = 0,
+    parallel: bool = True,
+    include_vector: bool = True,
+) -> JobOutcome:
+    """Execute one job: diffusion, then sweep cut, then flatten the result.
+
+    Mirrors :func:`repro.core.api.local_cluster` exactly — same dispatch
+    through :data:`ALGORITHMS`, same sweep — except that a diffusion with
+    empty support yields an outcome with ``sweep=None`` instead of raising,
+    so one degenerate parameter combination cannot abort a large batch
+    (the historical NCP loop skipped such runs the same way).
+    """
+    if job.method not in ALGORITHMS:
+        raise ValueError(
+            f"unknown method {job.method!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    params_cls, runner, takes_rng = ALGORITHMS[job.method]
+    params = params_cls(**job.params)
+    seeds = np.asarray(job.seeds, dtype=np.int64)
+    start = time.perf_counter()
+    with track() as tracker:
+        if takes_rng:
+            diffusion = runner(
+                graph, seeds, params, parallel=parallel, rng=np.random.default_rng(job.rng)
+            )
+        else:
+            diffusion = runner(graph, seeds, params, parallel=parallel)
+        sweep = (
+            sweep_cut(graph, diffusion.vector, parallel=parallel)
+            if diffusion.support_size() > 0
+            else None
+        )
+    elapsed = time.perf_counter() - start
+    keys = values = None
+    if include_vector:
+        keys, values = vector_items(diffusion.vector)
+    return JobOutcome(
+        index=index,
+        job=job,
+        support_size=diffusion.support_size(),
+        iterations=diffusion.iterations,
+        pushes=diffusion.pushes,
+        touched_edges=diffusion.touched_edges,
+        residual_mass=float(diffusion.extras.get("residual_mass", 0.0)),
+        work=tracker.work,
+        depth=tracker.depth,
+        wall_seconds=elapsed,
+        sweep=sweep,
+        vector_keys=keys,
+        vector_values=values,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-process state.  Populated once per worker by the pool
+# initializer; under the fork start method the CSRGraph object (and its
+# numpy arrays) is inherited from the parent via copy-on-write pages and
+# is therefore genuinely shared, not serialised.
+# ----------------------------------------------------------------------
+_WORKER_GRAPH: CSRGraph | None = None
+_WORKER_PARALLEL: bool = True
+_WORKER_INCLUDE_VECTORS: bool = True
+
+
+def _worker_init(
+    offsets: np.ndarray, neighbors: np.ndarray, parallel: bool, include_vectors: bool
+) -> None:
+    global _WORKER_GRAPH, _WORKER_PARALLEL, _WORKER_INCLUDE_VECTORS
+    graph = CSRGraph.__new__(CSRGraph)  # arrays were validated in the parent
+    graph.offsets = offsets
+    graph.neighbors = neighbors
+    _WORKER_GRAPH = graph
+    _WORKER_PARALLEL = parallel
+    _WORKER_INCLUDE_VECTORS = include_vectors
+
+
+def _worker_run(item: tuple[int, DiffusionJob]) -> JobOutcome:
+    index, job = item
+    assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return run_job(
+        _WORKER_GRAPH,
+        job,
+        index=index,
+        parallel=_WORKER_PARALLEL,
+        include_vector=_WORKER_INCLUDE_VECTORS,
+    )
+
+
+class SerialBackend:
+    """Run jobs in the calling process, one after another.
+
+    Deterministic by construction and free of pool start-up cost — the
+    right choice for small batches, for debugging, and as the reference
+    implementation the process backend is tested against.  Per-job
+    work-depth records fold into any active tracker automatically (nested
+    ``track()`` regions merge outward).
+    """
+
+    #: per-job costs already reach the caller's tracker via nested track()
+    folds_into_tracker = True
+    workers = 1
+
+    def stream(
+        self,
+        graph: CSRGraph,
+        jobs: Sequence[DiffusionJob],
+        parallel: bool,
+        include_vectors: bool,
+    ) -> Iterator[JobOutcome]:
+        for index, job in enumerate(jobs):
+            yield run_job(
+                graph, job, index=index, parallel=parallel, include_vector=include_vectors
+            )
+
+
+class ProcessPoolBackend:
+    """Fan jobs out across a ``multiprocessing`` pool.
+
+    Outcomes are yielded with ``imap`` in submission order, so reducers in
+    the parent observe the identical deterministic stream the serial
+    backend produces.  ``chunk_size`` controls how many jobs travel per
+    IPC round-trip (default: enough for ~8 chunks per worker, capped so
+    stragglers cannot hold a whole quarter of the batch).
+    """
+
+    folds_into_tracker = False
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+    ) -> None:
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else available[0]
+        elif start_method not in available:
+            raise ValueError(
+                f"start method {start_method!r} unavailable; choose from {available}"
+            )
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.start_method = start_method
+        self.chunk_size = chunk_size
+
+    def _chunk_size(self, num_jobs: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return max(1, min(32, num_jobs // (self.workers * 8) or 1))
+
+    def stream(
+        self,
+        graph: CSRGraph,
+        jobs: Sequence[DiffusionJob],
+        parallel: bool,
+        include_vectors: bool,
+    ) -> Iterator[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(
+            processes=self.workers,
+            initializer=_worker_init,
+            initargs=(graph.offsets, graph.neighbors, parallel, include_vectors),
+        ) as pool:
+            yield from pool.imap(
+                _worker_run, enumerate(jobs), chunksize=self._chunk_size(len(jobs))
+            )
+
+
+class BatchEngine:
+    """Front door of the batch subsystem: jobs in, reduced results out.
+
+    Parameters
+    ----------
+    graph:
+        The (read-only) graph every job runs against.
+    backend:
+        ``"serial"``, ``"process"``, a backend instance, or ``None`` to
+        pick ``"process"`` when ``workers`` asks for more than one worker
+        and ``"serial"`` otherwise.
+    workers:
+        Worker count for the process backend (default: all cores).
+    parallel:
+        Use the intra-query parallel implementations inside each job
+        (``False`` selects the sequential references).
+    include_vectors:
+        Retain each job's diffusion vector on its outcome.  Disable for
+        pure profile/statistics batches (e.g. NCP) to keep inter-process
+        traffic and reducer memory proportional to the sweep alone.
+
+    >>> from repro.graph import barbell_graph
+    >>> from repro.engine import BatchEngine, DiffusionJob
+    >>> engine = BatchEngine(barbell_graph(8))
+    >>> [o.size for o in engine.run([DiffusionJob.make(0), DiffusionJob.make(15)])]
+    [8, 8]
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        backend: str | SerialBackend | ProcessPoolBackend | None = None,
+        workers: int | None = None,
+        parallel: bool = True,
+        include_vectors: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.parallel = parallel
+        self.include_vectors = include_vectors
+        if backend is None:
+            backend = "process" if workers is not None and workers > 1 else "serial"
+        if backend == "serial":
+            self.backend: SerialBackend | ProcessPoolBackend = SerialBackend()
+        elif backend == "process":
+            self.backend = ProcessPoolBackend(workers=workers)
+        elif isinstance(backend, (SerialBackend, ProcessPoolBackend)):
+            self.backend = backend
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'serial', 'process' "
+                "or a backend instance"
+            )
+
+    @property
+    def workers(self) -> int:
+        return self.backend.workers
+
+    def map(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
+        """Stream outcomes in job order (lazy; see :meth:`run` to reduce)."""
+        return self.backend.stream(
+            self.graph, list(jobs), self.parallel, self.include_vectors
+        )
+
+    def run(
+        self,
+        jobs: Iterable[DiffusionJob],
+        reducer: Reducer | Sequence[Reducer] | None = None,
+    ) -> Any:
+        """Execute ``jobs`` and fold outcomes through ``reducer``.
+
+        With no reducer, returns the list of outcomes.  With a sequence of
+        reducers, every outcome is offered to each and a tuple of finals
+        is returned — one pass over the batch, several aggregates out.
+        For non-serial backends the batch's aggregate cost profile (work
+        summed over jobs, depth the max over jobs — the independent-jobs
+        composition rule) is recorded against any active tracker.
+        """
+        single = reducer is None or isinstance(reducer, Reducer)
+        reducers: list[Reducer] = (
+            [reducer if reducer is not None else CollectReducer()]
+            if single
+            else list(reducer)  # type: ignore[arg-type]
+        )
+        total_work = 0.0
+        max_depth = 0.0
+        for outcome in self.map(jobs):
+            total_work += outcome.work
+            max_depth = max(max_depth, outcome.depth)
+            for item in reducers:
+                item.update(outcome)
+        if not self.backend.folds_into_tracker:
+            record(work=total_work, depth=max_depth, category="engine")
+        finals = tuple(item.finalize() for item in reducers)
+        return finals[0] if single else finals
+
+
+def resolve_engine(
+    graph: CSRGraph,
+    engine: BatchEngine | str | None = None,
+    workers: int | None = None,
+    parallel: bool = True,
+    include_vectors: bool = True,
+) -> BatchEngine:
+    """Normalise the ``engine=`` argument accepted by the high-level APIs.
+
+    ``engine`` may be a ready :class:`BatchEngine` (returned as-is; it must
+    target the same graph), a backend name, or ``None`` to infer the
+    backend from ``workers`` exactly like the :class:`BatchEngine`
+    constructor does.
+    """
+    if isinstance(engine, BatchEngine):
+        if engine.graph is not graph:
+            raise ValueError("engine was built for a different graph")
+        return engine
+    return BatchEngine(
+        graph,
+        backend=engine,
+        workers=workers,
+        parallel=parallel,
+        include_vectors=include_vectors,
+    )

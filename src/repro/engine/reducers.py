@@ -1,0 +1,151 @@
+"""Reducers: streaming aggregation of batch-engine outcomes.
+
+A batch run produces one :class:`~repro.engine.executor.JobOutcome` per
+job, in job order, regardless of backend.  Reducers fold that stream into
+the quantity the caller actually wants — the full outcome list, an NCP
+profile, the single best cluster, or throughput statistics — without ever
+holding more than one outcome's worth of extra state (except the
+deliberately-collecting :class:`CollectReducer`).  This is what lets a
+10^5-job NCP run stream through a process pool in bounded memory.
+
+Reducers run in the *parent* process and see outcomes in deterministic job
+order, so any reducer whose fold is order-sensitive still produces
+identical results at every worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.ncp import NCPResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import JobOutcome
+
+__all__ = [
+    "Reducer",
+    "CollectReducer",
+    "NCPReducer",
+    "BestClusterReducer",
+    "BatchStats",
+    "StatsReducer",
+]
+
+
+class Reducer:
+    """Interface: ``update`` once per outcome (in job order), then ``finalize``."""
+
+    def update(self, outcome: "JobOutcome") -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> Any:
+        raise NotImplementedError
+
+
+class CollectReducer(Reducer):
+    """Materialise every outcome — the default when no reducer is given."""
+
+    def __init__(self) -> None:
+        self.outcomes: list["JobOutcome"] = []
+
+    def update(self, outcome: "JobOutcome") -> None:
+        self.outcomes.append(outcome)
+
+    def finalize(self) -> list["JobOutcome"]:
+        return self.outcomes
+
+
+class NCPReducer(Reducer):
+    """Pointwise-minimum conductance per cluster size (Figure 12).
+
+    Folds each job's sweep profile with exactly the rule of the historical
+    serial loop in :func:`repro.core.ncp.ncp_profile`: every prefix of the
+    sweep ordering contributes a (size, conductance) point, prefixes of
+    conductance exactly 0 (whole connected components) are discarded, and
+    jobs whose diffusion had empty support do not count as runs.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.max_size = max_size
+        self.best = np.full(max_size, np.inf, dtype=np.float64)
+        self.runs = 0
+
+    def update(self, outcome: "JobOutcome") -> None:
+        if outcome.support_size == 0 or outcome.sweep is None:
+            return
+        self.runs += 1
+        count = min(len(outcome.sweep.order), self.max_size)
+        phis = outcome.sweep.conductances[:count]
+        valid = phis > 0.0
+        np.minimum.at(self.best, np.flatnonzero(valid), phis[valid])
+
+    def finalize(self) -> NCPResult:
+        return NCPResult(max_size=self.max_size, conductance=self.best, runs=self.runs)
+
+
+class BestClusterReducer(Reducer):
+    """Keep the single lowest-conductance outcome across the whole batch.
+
+    Ties break towards the earlier job, so the winner is deterministic.
+    ``finalize`` returns the winning outcome (or ``None`` if every job had
+    empty support).
+    """
+
+    def __init__(self) -> None:
+        self.best: "JobOutcome | None" = None
+
+    def update(self, outcome: "JobOutcome") -> None:
+        if outcome.sweep is None:
+            return
+        if self.best is None or outcome.conductance < self.best.conductance:
+            self.best = outcome
+
+    def finalize(self) -> "JobOutcome | None":
+        return self.best
+
+
+@dataclass
+class BatchStats:
+    """Aggregate counters of one batch run (the throughput report)."""
+
+    jobs: int = 0
+    completed: int = 0
+    total_pushes: int = 0
+    total_touched_edges: int = 0
+    total_work: float = 0.0
+    max_depth: float = 0.0
+    job_seconds: float = 0.0
+    by_method: dict[str, int] = field(default_factory=dict)
+
+    def jobs_per_second(self, wall_seconds: float) -> float:
+        """Batch throughput given the *wall* time of the run (not the sum
+        of per-job times, which overcounts under a process pool)."""
+        return self.jobs / wall_seconds if wall_seconds > 0 else float("inf")
+
+
+class StatsReducer(Reducer):
+    """Accumulate :class:`BatchStats` over the outcome stream."""
+
+    def __init__(self) -> None:
+        self.stats = BatchStats()
+
+    def update(self, outcome: "JobOutcome") -> None:
+        stats = self.stats
+        stats.jobs += 1
+        if outcome.support_size > 0:
+            stats.completed += 1
+        stats.total_pushes += outcome.pushes
+        stats.total_touched_edges += outcome.touched_edges
+        stats.total_work += outcome.work
+        stats.max_depth = max(stats.max_depth, outcome.depth)
+        stats.job_seconds += outcome.wall_seconds
+        method = outcome.job.method
+        stats.by_method[method] = stats.by_method.get(method, 0) + 1
+
+    def finalize(self) -> BatchStats:
+        return self.stats

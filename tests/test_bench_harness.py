@@ -7,6 +7,7 @@ import pytest
 
 from repro.bench import (
     ascii_series,
+    batched_run,
     format_seconds,
     format_table,
     profiled_run,
@@ -47,6 +48,35 @@ class TestCsvAndResultsDir:
         monkeypatch.setenv("REPRO_RESULTS", str(tmp_path))
         path = write_csv("demo", ["a", "b"], [[1, 2], [3, 4]])
         assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestBatchedRun:
+    @pytest.fixture()
+    def engine_and_jobs(self):
+        from repro.engine import BatchEngine, DiffusionJob
+        from repro.graph import barbell_graph
+
+        graph = barbell_graph(8)
+        jobs = [DiffusionJob.make(s, params={"eps": 1e-4}) for s in (0, 15)]
+        return BatchEngine(graph), jobs
+
+    def test_stats_only_run(self, engine_and_jobs):
+        engine, jobs = engine_and_jobs
+        run = batched_run(engine, jobs)
+        assert run.value is None
+        assert run.stats.jobs == 2 and run.stats.completed == 2
+        assert run.workers == 1
+        assert run.wall_seconds > 0.0
+        assert run.jobs_per_second == pytest.approx(2 / run.wall_seconds)
+
+    def test_reducer_value_alongside_stats(self, engine_and_jobs):
+        from repro.engine import BestClusterReducer
+
+        engine, jobs = engine_and_jobs
+        run = batched_run(engine, jobs, BestClusterReducer())
+        assert run.value is not None
+        assert run.value.conductance == pytest.approx(run.value.sweep.best_conductance)
+        assert run.stats.jobs == 2
 
 
 class TestFormatting:

@@ -111,6 +111,75 @@ class TestNcpCommand:
         assert len(lines) > 1
 
 
+class TestBatchCommand:
+    def test_batch_csv_and_summary(self, tmp_path, capsys):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        out = tmp_path / "batch.csv"
+        code = main(
+            [
+                "batch",
+                str(path),
+                str(out),
+                "--seed",
+                "0",
+                "--seed",
+                "5",
+                "--grid",
+                "alpha=0.1,0.01",
+                "--param",
+                "eps=1e-4",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "batch: 4 jobs" in printed
+        assert "jobs/s" in printed and "best cluster:" in printed
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("job,method,seed,params")
+        assert len(lines) == 5  # header + 2 seeds x 2 alphas
+        assert "alpha=0.1;eps=0.0001" in lines[1]
+
+    def test_batch_workers_match_serial(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        serial, pooled = tmp_path / "serial.csv", tmp_path / "pooled.csv"
+        common = ["--seed", "0", "--seed", "5", "--param", "eps=1e-4"]
+        assert main(["batch", str(path), str(serial), *common]) == 0
+        assert main(["batch", str(path), str(pooled), *common, "--workers", "2"]) == 0
+
+        def stable(text: str) -> list[list[str]]:
+            # Drop the per-job seconds column — the only non-deterministic field.
+            return [line.split(",")[:-1] for line in text.splitlines()]
+
+        assert stable(serial.read_text()) == stable(pooled.read_text())
+
+    def test_batch_bad_grid_rejected(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        with pytest.raises(SystemExit):
+            main(["batch", str(path), str(tmp_path / "o.csv"), "--grid", "alpha"])
+
+    def test_batch_random_seeds_on_proxy(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        out = tmp_path / "batch.csv"
+        code = main(
+            ["batch", "3D-grid", str(out), "--num-seeds", "3", "--param", "eps=1e-4"]
+        )
+        assert code == 0
+        assert "batch: 3 jobs" in capsys.readouterr().out
+
+
+class TestNcpWorkers:
+    def test_ncp_workers_identical_csv(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        serial, pooled = tmp_path / "serial.csv", tmp_path / "pooled.csv"
+        common = ["randLocal", "--seeds", "3", "--alpha", "0.05", "--eps", "1e-4"]
+        assert main(["ncp", common[0], str(serial), *common[1:]]) == 0
+        assert main(["ncp", common[0], str(pooled), *common[1:], "--workers", "2"]) == 0
+        assert serial.read_text() == pooled.read_text()
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

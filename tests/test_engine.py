@@ -1,0 +1,306 @@
+"""Tests for the batch diffusion engine (repro.engine).
+
+The load-bearing properties: the engine is *deterministic* — batched
+``ncp_profile`` is bit-identical to the historical serial triple loop, and
+the worker count never changes any result — and its outcomes reconstruct
+exactly what the one-at-a-time high-level API returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PRNibbleParams, cluster_many, local_cluster, ncp_profile, pr_nibble
+from repro.core.sweep import sweep_cut
+from repro.engine import (
+    BatchEngine,
+    BestClusterReducer,
+    CollectReducer,
+    DiffusionJob,
+    NCPReducer,
+    ProcessPoolBackend,
+    SerialBackend,
+    StatsReducer,
+    job_grid,
+    resolve_engine,
+    run_job,
+)
+from repro.graph import CSRGraph, planted_partition
+from repro.runtime import track
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_partition(600, 6, intra_degree=8.0, inter_degree=1.0, seed=5)
+
+
+@pytest.fixture
+def isolated_vertex_graph():
+    """Vertex 0 isolated; vertices 1-2 joined by an edge."""
+    return CSRGraph(np.asarray([0, 0, 1, 2]), np.asarray([2, 1]))
+
+
+def legacy_ncp_loop(graph, seed_array, alphas, eps_values, limit, parallel=True):
+    """The pre-engine ``ncp_profile`` body, verbatim — the golden reference."""
+    best = np.full(limit, np.inf, dtype=np.float64)
+    runs = 0
+    for seed in seed_array.tolist():
+        for alpha in alphas:
+            for eps in eps_values:
+                params = PRNibbleParams(alpha=alpha, eps=eps)
+                diffusion = pr_nibble(graph, seed, params, parallel=parallel)
+                if diffusion.support_size() == 0:
+                    continue
+                sweep = sweep_cut(graph, diffusion.vector, parallel=parallel)
+                runs += 1
+                count = min(len(sweep.order), limit)
+                phis = sweep.conductances[:count]
+                valid = phis > 0.0
+                np.minimum.at(best, np.flatnonzero(valid), phis[valid])
+    return best, runs
+
+
+class TestJobs:
+    def test_make_normalises_seeds(self):
+        assert DiffusionJob.make(3).seeds == (3,)
+        assert DiffusionJob.make(np.asarray([4, 5])).seeds == (4, 5)
+        assert DiffusionJob.make([6]).params == {}
+
+    def test_describe(self):
+        job = DiffusionJob.make(1, params={"eps": 1e-4, "alpha": 0.1})
+        assert job.describe() == "pr-nibble[1] alpha=0.1 eps=0.0001"
+
+    def test_grid_order_matches_serial_triple_loop(self):
+        jobs = list(job_grid([7, 9], "pr-nibble", {"alpha": (0.1, 0.01), "eps": (1e-3, 1e-4)}))
+        assert len(jobs) == 8
+        assert [j.seeds[0] for j in jobs] == [7, 7, 7, 7, 9, 9, 9, 9]
+        assert [j.params["alpha"] for j in jobs[:4]] == [0.1, 0.1, 0.01, 0.01]
+        assert [j.params["eps"] for j in jobs[:2]] == [1e-3, 1e-4]
+
+    def test_grid_fixed_params_and_distinct_rng(self):
+        jobs = list(job_grid([1, 2], "rand-hk-pr", {"t": (2.0, 4.0)}, params={"num_walks": 50}, rng=10))
+        assert all(j.params["num_walks"] == 50 for j in jobs)
+        assert [j.rng for j in jobs] == [10, 11, 12, 13]
+
+    def test_empty_grid_yields_one_job_per_seed(self):
+        jobs = list(job_grid([1, 2, 3]))
+        assert len(jobs) == 3
+        assert all(j.params == {} for j in jobs)
+
+    def test_empty_grid_axis_yields_no_jobs(self):
+        # An axis with zero values empties the product, exactly like the
+        # nested loop the grid mirrors — it must not fall back to defaults.
+        assert list(job_grid([1, 2], grid={"alpha": ()})) == []
+
+    def test_ncp_with_empty_alphas_does_no_runs(self, graph):
+        profile = ncp_profile(graph, seeds=[0], alphas=(), eps_values=(1e-4,))
+        assert profile.runs == 0
+        assert not np.isfinite(profile.conductance).any()
+
+
+class TestRunJob:
+    def test_matches_local_cluster(self, graph):
+        job = DiffusionJob.make(0, params={"alpha": 0.05, "eps": 1e-4})
+        outcome = run_job(graph, job)
+        reference = local_cluster(graph, 0, alpha=0.05, eps=1e-4)
+        assert np.array_equal(outcome.cluster, reference.cluster)
+        assert outcome.conductance == reference.conductance
+        assert outcome.support_size == reference.diffusion.support_size()
+        rebuilt = outcome.to_cluster_result()
+        assert rebuilt.params == reference.params
+        assert rebuilt.diffusion.pushes == reference.diffusion.pushes
+
+    def test_unknown_method_raises(self, graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            run_job(graph, DiffusionJob.make(0, method="page-rank"))
+
+    def test_empty_support_yields_no_sweep(self, isolated_vertex_graph):
+        outcome = run_job(
+            isolated_vertex_graph, DiffusionJob.make(0), parallel=False
+        )
+        assert outcome.support_size == 0
+        assert outcome.sweep is None
+        assert outcome.conductance == float("inf")
+        assert outcome.size == 0
+        with pytest.raises(ValueError, match="no cluster"):
+            outcome.to_cluster_result()
+
+    def test_vector_omitted_when_disabled(self, graph):
+        outcome = run_job(graph, DiffusionJob.make(0), include_vector=False)
+        assert outcome.vector_keys is None
+        with pytest.raises(ValueError, match="include_vectors"):
+            outcome.diffusion()
+
+
+class TestEngineDeterminism:
+    ALPHAS = (0.05, 0.01)
+    EPS = (1e-4,)
+
+    def test_batched_ncp_bit_identical_to_legacy_loop(self, graph):
+        seeds = np.asarray([0, 150, 300, 450, 599])
+        expected, expected_runs = legacy_ncp_loop(
+            graph, seeds, self.ALPHAS, self.EPS, graph.num_vertices
+        )
+        profile = ncp_profile(graph, seeds=seeds, alphas=self.ALPHAS, eps_values=self.EPS)
+        assert profile.runs == expected_runs
+        assert np.array_equal(profile.conductance, expected)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_worker_count_does_not_change_results(self, graph, workers):
+        seeds = np.asarray([0, 150, 300, 450, 599])
+        serial = ncp_profile(graph, seeds=seeds, alphas=self.ALPHAS, eps_values=self.EPS)
+        pooled = ncp_profile(
+            graph, seeds=seeds, alphas=self.ALPHAS, eps_values=self.EPS, workers=workers
+        )
+        assert pooled.runs == serial.runs
+        assert np.array_equal(pooled.conductance, serial.conductance)
+
+    def test_ncp_rng_path_unchanged(self, graph):
+        """num_seeds + rng draws the same seeds the legacy code drew."""
+        from repro.core.seeding import random_seeds
+
+        expected_seeds = random_seeds(graph, 6, rng=np.random.default_rng(4))
+        expected, expected_runs = legacy_ncp_loop(
+            graph, expected_seeds, self.ALPHAS, self.EPS, graph.num_vertices
+        )
+        profile = ncp_profile(
+            graph, num_seeds=6, alphas=self.ALPHAS, eps_values=self.EPS, rng=4
+        )
+        assert profile.runs == expected_runs
+        assert np.array_equal(profile.conductance, expected)
+
+    def test_process_backend_preserves_job_order(self, graph):
+        jobs = [DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in range(8)]
+        engine = BatchEngine(graph, backend="process", workers=2)
+        outcomes = engine.run(jobs)
+        assert [o.index for o in outcomes] == list(range(8))
+        assert [o.job.seeds[0] for o in outcomes] == list(range(8))
+
+
+class TestClusterMany:
+    def test_matches_local_cluster_loop(self, graph):
+        seeds = [0, 100, 200, 300]
+        batch = cluster_many(graph, seeds, alpha=0.05, eps=1e-4)
+        for seed, result in zip(seeds, batch):
+            reference = local_cluster(graph, seed, alpha=0.05, eps=1e-4)
+            assert np.array_equal(result.cluster, reference.cluster)
+            assert result.conductance == reference.conductance
+            assert result.algorithm == "pr-nibble"
+
+    def test_workers_equivalent(self, graph):
+        seeds = [0, 100, 200, 300]
+        serial = cluster_many(graph, seeds, alpha=0.05, eps=1e-4)
+        pooled = cluster_many(graph, seeds, alpha=0.05, eps=1e-4, workers=2)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.cluster, b.cluster)
+            assert a.conductance == b.conductance
+
+    def test_randomized_method_backend_invariant(self, graph):
+        serial = cluster_many(graph, [0, 50], method="rand-hk-pr", rng=3, num_walks=500)
+        pooled = cluster_many(
+            graph, [0, 50], method="rand-hk-pr", rng=3, num_walks=500, workers=2
+        )
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a.cluster, b.cluster)
+
+    def test_unknown_method_raises(self, graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            cluster_many(graph, [0], method="page-rank")
+
+    def test_rejects_vectorless_engine_up_front(self, graph):
+        engine = BatchEngine(graph, include_vectors=False)
+        with pytest.raises(ValueError, match="include_vectors=True"):
+            cluster_many(graph, [0], engine=engine)
+
+
+class TestReducers:
+    def _outcomes(self, graph, seeds=(0, 100, 200)):
+        jobs = [DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in seeds]
+        return BatchEngine(graph).run(jobs)
+
+    def test_collect_preserves_order(self, graph):
+        outcomes = self._outcomes(graph)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+
+    def test_stats_reducer_counts(self, graph):
+        outcomes = self._outcomes(graph)
+        reducer = StatsReducer()
+        for outcome in outcomes:
+            reducer.update(outcome)
+        stats = reducer.finalize()
+        assert stats.jobs == 3 and stats.completed == 3
+        assert stats.total_pushes == sum(o.pushes for o in outcomes)
+        assert stats.by_method == {"pr-nibble": 3}
+        assert stats.total_work > 0 and stats.max_depth > 0
+        assert stats.jobs_per_second(0.5) == pytest.approx(6.0)
+
+    def test_best_cluster_reducer_picks_minimum(self, graph):
+        outcomes = self._outcomes(graph)
+        reducer = BestClusterReducer()
+        for outcome in outcomes:
+            reducer.update(outcome)
+        best = reducer.finalize()
+        assert best is not None
+        assert best.conductance == min(o.conductance for o in outcomes)
+
+    def test_ncp_reducer_skips_empty_support(self, isolated_vertex_graph):
+        outcome = run_job(isolated_vertex_graph, DiffusionJob.make(0), parallel=False)
+        reducer = NCPReducer(3)
+        reducer.update(outcome)
+        profile = reducer.finalize()
+        assert profile.runs == 0
+        assert not np.isfinite(profile.conductance).any()
+
+    def test_ncp_reducer_validates_max_size(self):
+        with pytest.raises(ValueError):
+            NCPReducer(0)
+
+    def test_multiple_reducers_single_pass(self, graph):
+        jobs = [DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in (0, 100)]
+        collect, stats = BatchEngine(graph).run(jobs, [CollectReducer(), StatsReducer()])
+        assert len(collect) == 2
+        assert stats.jobs == 2
+
+
+class TestEngineConfiguration:
+    def test_backend_inference_from_workers(self, graph):
+        assert isinstance(BatchEngine(graph).backend, SerialBackend)
+        assert isinstance(BatchEngine(graph, workers=1).backend, SerialBackend)
+        assert isinstance(BatchEngine(graph, workers=2).backend, ProcessPoolBackend)
+        assert BatchEngine(graph, workers=2).workers == 2
+
+    def test_unknown_backend_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BatchEngine(graph, backend="threads")
+
+    def test_resolve_engine_passthrough_and_mismatch(self, graph):
+        engine = BatchEngine(graph)
+        assert resolve_engine(graph, engine) is engine
+        other = planted_partition(100, 2, 6.0, 1.0, seed=1)
+        with pytest.raises(ValueError, match="different graph"):
+            resolve_engine(other, engine)
+
+    def test_unavailable_start_method_rejected(self):
+        with pytest.raises(ValueError, match="unavailable"):
+            ProcessPoolBackend(start_method="no-such-method")
+
+    def test_empty_job_stream(self, graph):
+        assert BatchEngine(graph, backend="process", workers=2).run([]) == []
+        assert BatchEngine(graph).run([]) == []
+
+    def test_serial_backend_folds_costs_into_tracker(self, graph):
+        engine = BatchEngine(graph)
+        with track() as tracker:
+            engine.run([DiffusionJob.make(0, params={"alpha": 0.05, "eps": 1e-4})])
+        assert tracker.work > 0
+        assert "edge_map" in tracker.by_category
+
+    def test_process_backend_records_batch_cost(self, graph):
+        engine = BatchEngine(graph, backend="process", workers=2)
+        jobs = [DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in (0, 100)]
+        with track() as tracker:
+            outcomes = engine.run(jobs)
+        assert "engine" in tracker.by_category
+        assert tracker.work == pytest.approx(sum(o.work for o in outcomes))
+        assert tracker.depth == pytest.approx(max(o.depth for o in outcomes))
