@@ -98,6 +98,9 @@ def test_batch_engine_scaling(benchmark, graphs):
         assert np.array_equal(run.value.conductance, baseline.value.conductance), name
     # On a multi-core host the pool must actually scale throughput; on a
     # single core we only require that fan-out works and stays correct.
-    if (os.cpu_count() or 1) >= 2:
+    # The CI smoke job (REPRO_BENCH_SMOKE=1) runs on graphs so small that
+    # pool start-up dominates, so there the numbers are recorded for
+    # trend tracking but not asserted.
+    if (os.cpu_count() or 1) >= 2 and os.environ.get("REPRO_BENCH_SMOKE") != "1":
         best = max(run.jobs_per_second for name, run in runs.items() if name != "serial")
         assert best > 1.05 * baseline.jobs_per_second

@@ -1,0 +1,114 @@
+"""Result cache — warm-vs-cold NCP grid throughput.
+
+The paper's NCP methodology re-runs near-identical PR-Nibble queries
+across a (seed x alpha x eps) grid, and interactive serving repeats them
+further still.  This benchmark measures what the result cache buys on
+exactly that workload: one cold pass over a grid on the soc-LJ proxy
+(every job diffuses), then a warm pass through the in-memory layer and a
+warm pass through a fresh cache attached to the same on-disk store (as a
+new process would see it).
+
+Correctness is asserted, not just printed: every pass must produce the
+bit-identical NCP profile, and the warm passes must perform zero
+diffusions (all hits, via cache stats).  Set ``REPRO_BENCH_SMOKE=1`` (the
+CI smoke job does) to keep the assertions but relax nothing else — the
+speedup figures on tiny graphs are reported for trend tracking only.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.bench import batched_run, format_seconds, format_table, write_csv
+from repro.cache import ResultCache
+from repro.core.seeding import random_seeds
+from repro.engine import BatchEngine, NCPReducer, job_grid
+
+GRAPH = "soc-LJ"
+NUM_SEEDS = 12
+ALPHAS = (0.05, 0.01)
+EPS_VALUES = (1e-4, 1e-5)
+
+
+def _run_experiment(graph, cache_dir):
+    seeds = random_seeds(graph, NUM_SEEDS, rng=3)
+    jobs = list(job_grid(seeds, "pr-nibble", {"alpha": ALPHAS, "eps": EPS_VALUES}))
+    runs = {}
+
+    def reducer():
+        return NCPReducer(graph.num_vertices)
+
+    cold_cache = ResultCache.with_dir(cache_dir)
+    engine = BatchEngine(graph, include_vectors=False, cache=cold_cache)
+    runs["cold"] = batched_run(engine, jobs, reducer())
+    runs["warm-memory"] = batched_run(engine, jobs, reducer())
+
+    fresh = ResultCache.with_dir(cache_dir)  # what a new process would see
+    disk_engine = BatchEngine(graph, include_vectors=False, cache=fresh)
+    runs["warm-disk"] = batched_run(disk_engine, jobs, reducer())
+    return runs, cold_cache, fresh, len(jobs)
+
+
+def test_cache_warm_vs_cold(benchmark, graphs):
+    graph = graphs[GRAPH]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        runs, cold_cache, fresh, num_jobs = benchmark.pedantic(
+            lambda: _run_experiment(graph, cache_dir), rounds=1, iterations=1
+        )
+
+    cold = runs["cold"]
+    headers = ["pass", "jobs", "wall", "jobs/s", "speedup vs cold"]
+    rows = [
+        [
+            name,
+            run.stats.jobs,
+            format_seconds(run.wall_seconds),
+            f"{run.jobs_per_second:.1f}",
+            f"{cold.wall_seconds / run.wall_seconds:.1f}x",
+        ]
+        for name, run in runs.items()
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Result cache: {GRAPH} proxy, {num_jobs}-job NCP grid "
+            f"({NUM_SEEDS} seeds x {len(ALPHAS)} alphas x {len(EPS_VALUES)} eps)",
+        )
+    )
+    print(f"cache (memory+disk): {cold_cache.stats.describe()}")
+    print(f"cache (fresh, disk-served): {fresh.stats.describe()}")
+    write_csv(
+        "bench_cache",
+        ["pass", "jobs", "wall_seconds", "jobs_per_second", "speedup_vs_cold"],
+        [
+            [
+                name,
+                run.stats.jobs,
+                run.wall_seconds,
+                run.jobs_per_second,
+                cold.wall_seconds / run.wall_seconds,
+            ]
+            for name, run in runs.items()
+        ],
+    )
+
+    # Cold pass misses everything; both warm passes perform zero
+    # diffusions — all jobs replay from the cache.
+    assert cold_cache.stats.misses == num_jobs
+    assert cold_cache.stats.hits == num_jobs  # the warm-memory pass
+    assert fresh.stats.misses == 0 and fresh.stats.hits == num_jobs
+    # Determinism contract: every pass yields the bit-identical profile.
+    for name, run in runs.items():
+        assert run.value.runs == cold.value.runs, name
+        assert np.array_equal(run.value.conductance, cold.value.conductance), name
+    # Replaying from memory must beat re-diffusing, on any host.  (The
+    # disk pass additionally pays deserialisation; assert only off the
+    # tiny smoke graphs, where payload IO can rival the diffusions.)
+    assert runs["warm-memory"].wall_seconds < cold.wall_seconds
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1":
+        assert runs["warm-disk"].wall_seconds < cold.wall_seconds

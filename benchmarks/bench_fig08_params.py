@@ -15,7 +15,6 @@ sweep conductance per setting.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import format_table, write_csv

@@ -18,6 +18,10 @@ Quick start
 
 Subpackages
 -----------
+``repro.cache``
+    Content-addressed result cache: graph fingerprints, canonical cache
+    keys, LRU/disk stores, and the caching backend that replays repeated
+    diffusion queries instead of re-running them.
 ``repro.core``
     The clustering algorithms, sweep cut, quality metrics, NCP driver.
 ``repro.engine``
@@ -33,7 +37,8 @@ Subpackages
     Work-depth instrumentation and the simulated multicore machine.
 """
 
-from . import bench, core, engine, graph, ligra, prims, runtime
+from . import bench, cache, core, engine, graph, ligra, prims, runtime
+from .cache import CacheStats, CachingBackend, ResultCache
 from .core import (
     ALGORITHMS,
     ClusterResult,
@@ -63,6 +68,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "bench",
+    "cache",
+    "CacheStats",
+    "CachingBackend",
+    "ResultCache",
     "core",
     "engine",
     "graph",

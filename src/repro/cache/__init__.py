@@ -1,0 +1,45 @@
+"""Content-addressed result cache for the batch diffusion engine.
+
+The paper's experiments (and the interactive serving workload the ROADMAP
+targets) hammer one graph with thousands of overlapping (seed, alpha, eps)
+diffusion queries.  This subsystem memoises the engine's
+:class:`~repro.engine.executor.JobOutcome`s so repeated and overlapping
+workloads hit a store instead of re-diffusing:
+
+* :mod:`repro.cache.keys` — :class:`CacheKey`: graph content fingerprint +
+  method + canonicalised params + normalised seed set (+ rng for the
+  randomized methods).
+* :mod:`repro.cache.store` — :class:`LRUStore` (bounded in-memory),
+  :class:`DiskStore` (``.npz`` payloads under a cache directory),
+  :class:`ResultCache` (the two composed, with :class:`CacheStats`).
+* :mod:`repro.cache.backend` — :class:`CachingBackend`, wrapping either
+  engine backend so only misses are dispatched while outcomes still
+  stream back in job order.
+
+>>> from repro.graph import barbell_graph
+>>> from repro.engine import BatchEngine, DiffusionJob
+>>> engine = BatchEngine(barbell_graph(8), cache=True)
+>>> jobs = [DiffusionJob.make(0), DiffusionJob.make(0)]
+>>> [o.cached for o in engine.run(jobs) + engine.run(jobs)]
+[False, True, True, True]
+"""
+
+from .backend import CachingBackend
+from .keys import CacheKey, cache_key_for, canonical_params
+from .serialize import load_outcome, outcome_nbytes, save_outcome
+from .store import CacheStats, DiskStore, LRUStore, ResultCache, resolve_cache
+
+__all__ = [
+    "CacheKey",
+    "cache_key_for",
+    "canonical_params",
+    "CachingBackend",
+    "CacheStats",
+    "DiskStore",
+    "LRUStore",
+    "ResultCache",
+    "resolve_cache",
+    "load_outcome",
+    "outcome_nbytes",
+    "save_outcome",
+]

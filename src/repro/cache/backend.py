@@ -1,0 +1,116 @@
+"""The caching execution backend: dispatch misses, replay hits, in order.
+
+:class:`CachingBackend` wraps any engine backend (serial or process pool)
+behind the same ``stream()`` contract the
+:class:`~repro.engine.executor.BatchEngine` consumes.  For each batch it
+
+1. computes every job's :class:`~repro.cache.keys.CacheKey` against the
+   graph's content fingerprint,
+2. answers hits straight from the :class:`~repro.cache.store.ResultCache`,
+3. coalesces jobs whose key matches an identical job *earlier in the same
+   batch* (overlapping grids issue these constantly) so each distinct
+   query diffuses at most once, and
+4. sends only the remaining misses to the wrapped backend — as one
+   sub-batch, so a process pool still amortises its start-up over all of
+   them — storing each outcome as it streams back.
+
+Outcomes are yielded strictly in job order, with the requesting job (tag
+included) and its batch index re-attached, so every reducer observes the
+exact stream an uncached run would have produced and the engine's
+bit-identical determinism contract survives caching.  Replayed outcomes
+carry ``cached=True``; the engine excludes them from the batch's recorded
+work-depth cost, because a hit performs no diffusion work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from .keys import CacheKey, cache_key_for
+from .store import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import JobOutcome
+    from ..engine.jobs import DiffusionJob
+    from ..graph.csr import CSRGraph
+
+__all__ = ["CachingBackend"]
+
+_MISS = object()
+_COALESCED = object()
+
+
+class CachingBackend:
+    """Wrap an engine backend so only cache misses reach its workers."""
+
+    def __init__(self, inner, cache: ResultCache | None = None) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else ResultCache()
+
+    @property
+    def workers(self) -> int:
+        return self.inner.workers
+
+    @property
+    def folds_into_tracker(self) -> bool:
+        return self.inner.folds_into_tracker
+
+    def stream(
+        self,
+        graph: "CSRGraph",
+        jobs: Sequence["DiffusionJob"],
+        parallel: bool,
+        include_vectors: bool,
+    ) -> Iterator["JobOutcome"]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        fingerprint = graph.fingerprint()
+        keys = [cache_key_for(fingerprint, job, parallel, include_vectors) for job in jobs]
+
+        # Plan the batch up front so the misses can be dispatched to the
+        # wrapped backend as one sub-batch (one pool start-up, full
+        # chunking) while hits and coalesced duplicates replay locally.
+        plan: list[object] = []
+        first_miss: dict[CacheKey, int] = {}
+        pending_uses: dict[CacheKey, int] = {}
+        miss_jobs: list["DiffusionJob"] = []
+        for index, key in enumerate(keys):
+            hit = self.cache.get(key)
+            if hit is not None:
+                plan.append(hit)
+            elif key in first_miss:
+                self.cache.count_coalesced()
+                pending_uses[key] += 1
+                plan.append(_COALESCED)
+            else:
+                first_miss[key] = index
+                pending_uses[key] = 0
+                miss_jobs.append(jobs[index])
+                plan.append(_MISS)
+
+        miss_stream = iter(
+            self.inner.stream(graph, miss_jobs, parallel, include_vectors)
+            if miss_jobs
+            else ()
+        )
+        # Outcomes of misses that identical later jobs are waiting on are
+        # pinned here until their last duplicate is served, so coalescing
+        # survives even an eviction racing the batch.
+        pinned: dict[CacheKey, "JobOutcome"] = {}
+        for index, (job, key) in enumerate(zip(jobs, keys)):
+            step = plan[index]
+            if step is _MISS:
+                outcome = replace(next(miss_stream), index=index, job=job, cached=False)
+                self.cache.put(key, outcome)
+                if pending_uses[key] > 0:
+                    pinned[key] = outcome
+            elif step is _COALESCED:
+                outcome = replace(pinned[key], index=index, job=job, cached=True)
+                pending_uses[key] -= 1
+                if pending_uses[key] == 0:
+                    del pinned[key]
+            else:  # a cache hit, replayed with the requesting job attached
+                outcome = replace(step, index=index, job=job, cached=True)
+            yield outcome

@@ -1,0 +1,120 @@
+"""Cache keys: the canonical identity of one diffusion query.
+
+Two jobs must share a cache entry exactly when the engine is guaranteed to
+produce bit-identical :class:`~repro.engine.executor.JobOutcome`s for them.
+:func:`cache_key_for` normalises everything that can vary without changing
+the result:
+
+* **Graph** — identified by :meth:`repro.graph.CSRGraph.fingerprint`, a
+  content hash of the CSR arrays, so reloading the same graph from disk
+  (or rebuilding the same proxy) still hits.
+* **Parameters** — the method's parameter dataclass is instantiated, so
+  defaults are filled in (``{}`` and an explicit ``{"alpha": 0.01}`` at
+  the default value collide, as they must) and every numeric value is
+  normalised to a plain ``int``/``float`` (``alpha=1`` and ``alpha=1.0``
+  collide; ``1e-4`` and ``0.0001`` are the same double already).
+* **Seeds** — sorted and deduplicated.  Safe because every diffusion
+  normalises its seed set with ``np.unique`` before touching the graph.
+* **RNG** — kept verbatim for the randomized methods, forced to zero for
+  the deterministic ones (where it is dead weight that would fragment the
+  cache).
+* **Tag** — deliberately excluded: a job's free-form ``tag`` annotates the
+  outcome but never influences it, and the caching backend re-attaches
+  the requesting job's own tag on every hit.
+
+``parallel`` and the vector-retention flag *are* part of the key: the
+sequential and bulk-synchronous implementations may order float reductions
+differently, and an outcome stored without its diffusion vector cannot
+serve a caller who needs one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import numbers
+from dataclasses import asdict, dataclass
+from typing import Any
+
+from ..core.api import ALGORITHMS
+from ..engine.jobs import DiffusionJob
+
+__all__ = ["CacheKey", "canonical_params", "cache_key_for"]
+
+
+def _canonical_value(value: Any) -> Any:
+    """Collapse numeric types so equal numbers compare and hash equal."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    return value
+
+
+def canonical_params(method: str, params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    """Defaults-filled, numerically normalised, sorted parameter tuple."""
+    if method not in ALGORITHMS:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {sorted(ALGORITHMS)}"
+        )
+    params_cls = ALGORITHMS[method][0]
+    filled = asdict(params_cls(**params))
+    return tuple(sorted((name, _canonical_value(value)) for name, value in filled.items()))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Hashable identity of one (graph, method, params, seeds) query."""
+
+    graph: str
+    method: str
+    seeds: tuple[int, ...]
+    params: tuple[tuple[str, Any], ...]
+    rng: int
+    parallel: bool
+    vectors: bool
+
+    def digest(self) -> str:
+        """Stable hex digest — the on-disk filename of this key's entry."""
+        payload = json.dumps(
+            {
+                "graph": self.graph,
+                "method": self.method,
+                "seeds": list(self.seeds),
+                "params": [[name, repr(value)] for name, value in self.params],
+                "rng": self.rng,
+                "parallel": self.parallel,
+                "vectors": self.vectors,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("ascii")
+        return hashlib.blake2b(payload, digest_size=20).hexdigest()
+
+    def describe(self) -> str:
+        settings = " ".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"{self.method}[{','.join(map(str, self.seeds))}] {settings} "
+            f"rng={self.rng} graph={self.graph[:12]}"
+        )
+
+
+def cache_key_for(
+    fingerprint: str,
+    job: DiffusionJob,
+    parallel: bool,
+    include_vector: bool,
+) -> CacheKey:
+    """The :class:`CacheKey` under which ``job``'s outcome is stored."""
+    takes_rng = ALGORITHMS[job.method][2] if job.method in ALGORITHMS else True
+    return CacheKey(
+        graph=fingerprint,
+        method=job.method,
+        seeds=tuple(sorted(set(job.seeds))),
+        params=canonical_params(job.method, job.params),
+        rng=int(job.rng) if takes_rng else 0,
+        parallel=bool(parallel),
+        vectors=bool(include_vector),
+    )

@@ -1,0 +1,146 @@
+"""On-disk payloads for cached outcomes: one ``.npz`` file per entry.
+
+A :class:`~repro.engine.executor.JobOutcome` is arrays plus scalars.  Each
+entry is written as a single compressed ``.npz`` holding the sweep-profile
+and (optional) diffusion-vector arrays verbatim, with the scalars — and
+the job that produced them — embedded as a JSON document in a ``uint8``
+member.  One file per entry keeps eviction (delete the file) and ``cache
+clear`` trivial, and numpy round-trips the arrays bit-exactly, which is
+what lets a disk hit honour the engine's bit-identical-results contract.
+
+The job's free-form ``tag`` is *not* persisted (it may not be
+serialisable, and it never influences the result); the caching backend
+re-attaches the requesting job — tag included — on every hit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.result import SweepResult
+from ..engine.executor import JobOutcome
+from ..engine.jobs import DiffusionJob
+from .keys import _canonical_value
+
+__all__ = ["PAYLOAD_VERSION", "save_outcome", "load_outcome", "outcome_nbytes"]
+
+PAYLOAD_VERSION = 1
+
+
+def _json_scalar(value):
+    """Backstop for numpy scalars _canonical_value leaves alone (np.bool_)."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"cache payload value {value!r} is not JSON-serialisable")
+
+
+def outcome_nbytes(outcome: JobOutcome) -> int:
+    """Approximate in-memory footprint of one outcome (for byte budgets)."""
+    total = 256  # object + scalar overhead
+    if outcome.sweep is not None:
+        sweep = outcome.sweep
+        total += int(
+            sweep.order.nbytes
+            + sweep.conductances.nbytes
+            + sweep.volumes.nbytes
+            + sweep.cuts.nbytes
+        )
+    if outcome.vector_keys is not None:
+        total += int(outcome.vector_keys.nbytes)
+    if outcome.vector_values is not None:
+        total += int(outcome.vector_values.nbytes)
+    return total
+
+
+def save_outcome(path: str | Path, outcome: JobOutcome) -> None:
+    """Write ``outcome`` as a self-contained ``.npz`` payload."""
+    meta = {
+        "version": PAYLOAD_VERSION,
+        "job": {
+            "method": outcome.job.method,
+            "seeds": list(outcome.job.seeds),
+            # Normalised exactly like the cache key: numpy scalars (e.g. a
+            # num_walks passed as np.int64) are not JSON-serialisable raw.
+            "params": {
+                name: _canonical_value(value)
+                for name, value in outcome.job.params.items()
+            },
+            "rng": outcome.job.rng,
+        },
+        "support_size": outcome.support_size,
+        "iterations": outcome.iterations,
+        "pushes": outcome.pushes,
+        "touched_edges": outcome.touched_edges,
+        "residual_mass": outcome.residual_mass,
+        "work": outcome.work,
+        "depth": outcome.depth,
+        "wall_seconds": outcome.wall_seconds,
+        "best_index": None if outcome.sweep is None else int(outcome.sweep.best_index),
+        "has_vector": outcome.vector_keys is not None,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "meta": np.frombuffer(
+            json.dumps(meta, sort_keys=True, default=_json_scalar).encode("utf-8"),
+            dtype=np.uint8,
+        )
+    }
+    if outcome.sweep is not None:
+        arrays["order"] = outcome.sweep.order
+        arrays["conductances"] = outcome.sweep.conductances
+        arrays["volumes"] = outcome.sweep.volumes
+        arrays["cuts"] = outcome.sweep.cuts
+    if outcome.vector_keys is not None and outcome.vector_values is not None:
+        arrays["vector_keys"] = outcome.vector_keys
+        arrays["vector_values"] = outcome.vector_values
+    # Write through a handle: numpy then honours the exact path instead of
+    # appending ``.npz``, which matters for the store's temp-file renames.
+    with Path(path).open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_outcome(path: str | Path) -> JobOutcome:
+    """Rebuild a :class:`JobOutcome` from a :func:`save_outcome` payload.
+
+    Raises on malformed payloads; callers treat any exception as a cache
+    miss (a corrupt or truncated file must never poison a run).
+    """
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != PAYLOAD_VERSION:
+            raise ValueError(f"unsupported cache payload version {meta.get('version')!r}")
+        sweep = None
+        if meta["best_index"] is not None:
+            sweep = SweepResult(
+                order=data["order"],
+                conductances=data["conductances"],
+                volumes=data["volumes"],
+                cuts=data["cuts"],
+                best_index=int(meta["best_index"]),
+            )
+        vector_keys = data["vector_keys"] if meta["has_vector"] else None
+        vector_values = data["vector_values"] if meta["has_vector"] else None
+    job_meta = meta["job"]
+    job = DiffusionJob(
+        seeds=tuple(int(s) for s in job_meta["seeds"]),
+        method=job_meta["method"],
+        params=dict(job_meta["params"]),
+        rng=int(job_meta["rng"]),
+    )
+    return JobOutcome(
+        index=-1,
+        job=job,
+        support_size=int(meta["support_size"]),
+        iterations=int(meta["iterations"]),
+        pushes=int(meta["pushes"]),
+        touched_edges=int(meta["touched_edges"]),
+        residual_mass=float(meta["residual_mass"]),
+        work=float(meta["work"]),
+        depth=float(meta["depth"]),
+        wall_seconds=float(meta["wall_seconds"]),
+        sweep=sweep,
+        vector_keys=vector_keys,
+        vector_values=vector_values,
+    )

@@ -16,6 +16,14 @@ Commands
     Run a whole stream of diffusion jobs (seeds x parameter grid) through
     the batch engine — optionally across a process pool — writing one CSV
     row per job plus a throughput summary.
+``cache``
+    Inspect (``stats``) or empty (``clear``) an on-disk result cache
+    directory, as populated by ``ncp``/``batch`` with ``--cache-dir``.
+
+``ncp`` and ``batch`` accept ``--cache`` (memoise job outcomes in memory
+for the run — overlapping grids coalesce) and ``--cache-dir DIR``
+(persist outcomes on disk so repeated invocations replay instead of
+re-diffusing).
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .cache import DiskStore, resolve_cache
 from .core import ALGORITHMS, cluster_stats, local_cluster, ncp_profile, random_seeds
 from .engine import BatchEngine, BestClusterReducer, StatsReducer, job_grid
 from .graph import (
@@ -141,8 +150,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """The run's ResultCache (or None) from --cache / --cache-dir."""
+    return resolve_cache(args.cache_dir or (True if args.cache else None))
+
+
 def _cmd_ncp(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
+    cache = _cache_from_args(args)
     profile = ncp_profile(
         graph,
         num_seeds=args.seeds,
@@ -150,6 +165,7 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
         eps_values=tuple(args.eps),
         rng=args.rng,
         workers=args.workers,
+        cache=cache,
     )
     sizes, phis = profile.series()
     out = Path(args.output)
@@ -160,6 +176,8 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
     best = sizes[np.argmin(phis)]
     print(f"{profile.runs} runs; best cluster: size {best}, phi {phis.min():.4f}")
     print(f"wrote {len(sizes)} points to {out}")
+    if cache is not None:
+        print(f"cache: {cache.stats.describe()}")
     return 0
 
 
@@ -188,11 +206,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     jobs = list(job_grid(seeds, args.method, grid, params=fixed, rng=args.rng))
 
     workers = max(1, args.workers)
+    cache = _cache_from_args(args)
     engine = BatchEngine(
         graph,
         backend="process" if workers > 1 else "serial",
         workers=workers,
         include_vectors=False,
+        cache=cache,
     )
     # Stream outcomes straight to CSV so a large batch never lives in memory.
     stats_reducer = StatsReducer()
@@ -229,6 +249,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"from job {best.index} ({best.job.describe()})"
         )
     print(f"wrote {stats.jobs} rows to {out}")
+    if cache is not None:
+        print(f"cache: {cache.stats.describe()}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    try:
+        store = DiskStore(args.cache_dir, create=False)
+    except FileNotFoundError as error:
+        raise SystemExit(f"error: {error}") from None
+    if args.action == "stats":
+        entries = len(store)
+        print(f"cache dir: {store.directory}")
+        print(f"entries: {entries}   bytes: {store.nbytes:,}")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.directory}")
     return 0
 
 
@@ -285,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process-pool workers for the batch engine (1 = serial)",
     )
+    _add_cache_flags(ncp)
     ncp.set_defaults(run=_cmd_ncp)
 
     batch = commands.add_parser(
@@ -322,8 +360,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process-pool workers (1 = serial)"
     )
     batch.add_argument("--rng", type=int, default=0)
+    _add_cache_flags(batch)
     batch.set_defaults(run=_cmd_batch)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear an on-disk result cache directory"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", required=True, help="result cache directory (see --cache-dir)"
+    )
+    cache.set_defaults(run=_cmd_cache)
     return parser
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoise job outcomes in memory for this run (overlapping "
+        "grid entries and repeated seeds coalesce)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist job outcomes under DIR so repeated invocations "
+        "replay cached results instead of re-diffusing (implies --cache)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -94,6 +94,7 @@ def cluster_many(
     rng: np.random.Generator | int = 0,
     engine: "Any | str | None" = None,
     workers: int | None = None,
+    cache: "Any | bool | str | None" = None,
     **param_overrides: Any,
 ) -> list[ClusterResult]:
     """Run :func:`local_cluster` from many seeds as one batch.
@@ -105,6 +106,10 @@ def cluster_many(
     over :func:`local_cluster` result-for-result.  Randomized methods draw
     one sub-seed per job from ``rng`` up front, so results do not depend
     on the backend, the worker count, or the completion order.
+
+    ``cache`` memoises per-job outcomes (``True``, a cache directory, or
+    a :class:`repro.cache.ResultCache`); repeated seed lists — common in
+    interactive exploration — replay hits instead of re-diffusing.
 
     Returns one :class:`ClusterResult` per entry of ``seeds``, in order.
     """
@@ -123,7 +128,7 @@ def cluster_many(
         DiffusionJob.make(seed, method=method, params=param_overrides, rng=sub)
         for seed, sub in zip(seed_array.tolist(), sub_seeds.tolist())
     ]
-    batch = resolve_engine(graph, engine, workers=workers, parallel=parallel)
+    batch = resolve_engine(graph, engine, workers=workers, parallel=parallel, cache=cache)
     if not batch.include_vectors:
         raise ValueError(
             "cluster_many rebuilds full ClusterResults and needs the diffusion "

@@ -81,6 +81,7 @@ def ncp_profile(
     seeds: Iterable[int] | None = None,
     engine: "Any | str | None" = None,
     workers: int | None = None,
+    cache: "Any | bool | str | None" = None,
 ) -> NCPResult:
     """Generate an NCP by sweeping PR-Nibble over seeds and parameters.
 
@@ -96,6 +97,11 @@ def ncp_profile(
     ``engine`` for callers issuing many profiles against one graph.
     The pointwise-minimum reduction is order- and partition-independent,
     so results are bit-identical at every worker count.
+
+    ``cache`` memoises per-job outcomes (``True``, a cache directory, or a
+    :class:`repro.cache.ResultCache`): re-running a profile, or running an
+    overlapping parameter grid, replays hits instead of re-diffusing and
+    still produces the bit-identical profile.
     """
     from ..engine import NCPReducer, job_grid, resolve_engine
 
@@ -109,6 +115,11 @@ def ncp_profile(
         seed_array, "pr-nibble", {"alpha": tuple(alphas), "eps": tuple(eps_values)}
     )
     batch = resolve_engine(
-        graph, engine, workers=workers, parallel=parallel, include_vectors=False
+        graph,
+        engine,
+        workers=workers,
+        parallel=parallel,
+        include_vectors=False,
+        cache=cache,
     )
     return batch.run(jobs, NCPReducer(limit))

@@ -16,8 +16,15 @@ order**, so every reducer sees a deterministic stream at any worker count:
   (default, where available) ``fork`` start method the workers *share* the
   parent's read-only CSR arrays through copy-on-write pages: the graph is
   placed in module state before the fork and is never pickled, copied or
-  re-validated per job.  Under ``spawn``/``forkserver`` the arrays are
-  shipped to each worker once at pool start-up, not per job.
+  re-validated per job.  Under ``spawn``/``forkserver`` sharing is
+  impossible, so the backend warns and falls back to in-process serial
+  execution rather than silently shipping a full copy of the graph to
+  every worker (``multiprocessing.shared_memory`` attach for those
+  platforms is a ROADMAP item).
+
+A third backend, :class:`repro.cache.CachingBackend`, wraps either of the
+above so that only cache misses are dispatched; construct engines with
+``cache=`` to enable it.
 
 Workers return compact, picklable :class:`JobOutcome` records (sweep
 profile + counters + optionally the diffusion vector as two arrays) rather
@@ -30,8 +37,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -43,6 +51,9 @@ from ..prims.sparse import SparseDict
 from ..runtime import record, track
 from .jobs import DiffusionJob
 from .reducers import CollectReducer, Reducer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import CachingBackend, ResultCache
 
 __all__ = [
     "JobOutcome",
@@ -62,7 +73,9 @@ class JobOutcome:
     diffusion counters, the full sweep profile, the per-job work-depth
     totals and wall time, and — when the engine is configured with
     ``include_vectors`` — the diffusion vector flattened to parallel
-    ``(keys, values)`` arrays.
+    ``(keys, values)`` arrays.  ``cached`` marks outcomes replayed from
+    the result cache (their counters describe the *original* execution;
+    no diffusion work was performed for this job).
     """
 
     index: int
@@ -78,6 +91,7 @@ class JobOutcome:
     sweep: SweepResult | None
     vector_keys: np.ndarray | None = None
     vector_values: np.ndarray | None = None
+    cached: bool = False
 
     @property
     def conductance(self) -> float:
@@ -259,6 +273,14 @@ class ProcessPoolBackend:
     backend produces.  ``chunk_size`` controls how many jobs travel per
     IPC round-trip (default: enough for ~8 chunks per worker, capped so
     stragglers cannot hold a whole quarter of the batch).
+
+    The zero-copy graph sharing this backend is built around exists only
+    under the ``fork`` start method.  On platforms (or with an explicit
+    ``start_method``) where ``fork`` is not in play, :meth:`stream` warns
+    and runs the batch in-process instead — results are identical (the
+    engine's determinism contract holds at any worker count), only the
+    fan-out is lost.  Shared-memory attach for ``spawn``/``forkserver``
+    is tracked on the ROADMAP.
     """
 
     folds_into_tracker = False
@@ -279,6 +301,9 @@ class ProcessPoolBackend:
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.start_method = start_method
         self.chunk_size = chunk_size
+        # The non-fork fallback runs jobs in-process, where nested track()
+        # regions already fold per-job costs outward (like SerialBackend).
+        self.folds_into_tracker = start_method != "fork"
 
     def _chunk_size(self, num_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -294,6 +319,24 @@ class ProcessPoolBackend:
     ) -> Iterator[JobOutcome]:
         jobs = list(jobs)
         if not jobs:
+            return
+        if self.start_method != "fork":
+            warnings.warn(
+                f"process-pool start method {self.start_method!r} cannot share "
+                "the CSR arrays zero-copy; falling back to in-process serial "
+                "execution (results are identical; see ROADMAP: shared-memory "
+                "attach for spawn)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for index, job in enumerate(jobs):
+                yield run_job(
+                    graph,
+                    job,
+                    index=index,
+                    parallel=parallel,
+                    include_vector=include_vectors,
+                )
             return
         context = multiprocessing.get_context(self.start_method)
         with context.Pool(
@@ -326,6 +369,13 @@ class BatchEngine:
         Retain each job's diffusion vector on its outcome.  Disable for
         pure profile/statistics batches (e.g. NCP) to keep inter-process
         traffic and reducer memory proportional to the sweep alone.
+    cache:
+        Memoise job outcomes keyed by (graph fingerprint, method,
+        canonical params, seed set): ``True`` for a fresh in-memory
+        :class:`repro.cache.ResultCache`, a directory path for a
+        disk-backed one, or a ready ``ResultCache`` (shared across
+        engines).  Only cache misses are dispatched to the backend;
+        outcomes still stream back in job order.
 
     >>> from repro.graph import barbell_graph
     >>> from repro.engine import BatchEngine, DiffusionJob
@@ -337,31 +387,44 @@ class BatchEngine:
     def __init__(
         self,
         graph: CSRGraph,
-        backend: str | SerialBackend | ProcessPoolBackend | None = None,
+        backend: "str | SerialBackend | ProcessPoolBackend | CachingBackend | None" = None,
         workers: int | None = None,
         parallel: bool = True,
         include_vectors: bool = True,
+        cache: "ResultCache | bool | str | None" = None,
     ) -> None:
+        from ..cache import CachingBackend, resolve_cache
+
         self.graph = graph
         self.parallel = parallel
         self.include_vectors = include_vectors
         if backend is None:
             backend = "process" if workers is not None and workers > 1 else "serial"
         if backend == "serial":
-            self.backend: SerialBackend | ProcessPoolBackend = SerialBackend()
+            self.backend: "SerialBackend | ProcessPoolBackend | CachingBackend" = (
+                SerialBackend()
+            )
         elif backend == "process":
             self.backend = ProcessPoolBackend(workers=workers)
-        elif isinstance(backend, (SerialBackend, ProcessPoolBackend)):
+        elif isinstance(backend, (SerialBackend, ProcessPoolBackend, CachingBackend)):
             self.backend = backend
         else:
             raise ValueError(
                 f"unknown backend {backend!r}; expected 'serial', 'process' "
                 "or a backend instance"
             )
+        resolved_cache = resolve_cache(cache)
+        if resolved_cache is not None and not isinstance(self.backend, CachingBackend):
+            self.backend = CachingBackend(self.backend, resolved_cache)
 
     @property
     def workers(self) -> int:
         return self.backend.workers
+
+    @property
+    def cache(self) -> "ResultCache | None":
+        """The engine's result cache, or ``None`` when caching is off."""
+        return getattr(self.backend, "cache", None)
 
     def map(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
         """Stream outcomes in job order (lazy; see :meth:`run` to reduce)."""
@@ -381,7 +444,9 @@ class BatchEngine:
         is returned — one pass over the batch, several aggregates out.
         For non-serial backends the batch's aggregate cost profile (work
         summed over jobs, depth the max over jobs — the independent-jobs
-        composition rule) is recorded against any active tracker.
+        composition rule) is recorded against any active tracker; cache
+        hits are excluded, since a replayed outcome performs no diffusion
+        work in this run.
         """
         single = reducer is None or isinstance(reducer, Reducer)
         reducers: list[Reducer] = (
@@ -392,8 +457,9 @@ class BatchEngine:
         total_work = 0.0
         max_depth = 0.0
         for outcome in self.map(jobs):
-            total_work += outcome.work
-            max_depth = max(max_depth, outcome.depth)
+            if not outcome.cached:
+                total_work += outcome.work
+                max_depth = max(max_depth, outcome.depth)
             for item in reducers:
                 item.update(outcome)
         if not self.backend.folds_into_tracker:
@@ -408,13 +474,16 @@ def resolve_engine(
     workers: int | None = None,
     parallel: bool = True,
     include_vectors: bool = True,
+    cache: "ResultCache | bool | str | None" = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
     ``engine`` may be a ready :class:`BatchEngine` (returned as-is; it must
-    target the same graph), a backend name, or ``None`` to infer the
-    backend from ``workers`` exactly like the :class:`BatchEngine`
-    constructor does.
+    target the same graph, and it keeps its own cache configuration), a
+    backend name, or ``None`` to infer the backend from ``workers``
+    exactly like the :class:`BatchEngine` constructor does.  ``cache``
+    follows the constructor's spec (``True`` / directory path /
+    :class:`repro.cache.ResultCache`).
     """
     if isinstance(engine, BatchEngine):
         if engine.graph is not graph:
@@ -426,4 +495,5 @@ def resolve_engine(
         workers=workers,
         parallel=parallel,
         include_vectors=include_vectors,
+        cache=cache,
     )

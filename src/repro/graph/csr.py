@@ -14,6 +14,8 @@ O(volume) work and O(log volume) depth — exactly the cost Ligra's
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from ..prims.scan import exclusive_prefix_sum
@@ -31,7 +33,7 @@ class CSRGraph:
     structural consistency of pre-built arrays.
     """
 
-    __slots__ = ("offsets", "neighbors")
+    __slots__ = ("offsets", "neighbors", "_fingerprint")
 
     def __init__(self, offsets: np.ndarray, neighbors: np.ndarray) -> None:
         offsets = np.asarray(offsets, dtype=np.int64)
@@ -69,6 +71,40 @@ class CSRGraph:
 
     def __repr__(self) -> str:
         return f"CSRGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Content fingerprint (the cache's graph identity)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the CSR arrays, memoised on the instance.
+
+        Two graphs have equal fingerprints iff their ``offsets`` and
+        ``neighbors`` arrays are element-wise identical, so the value
+        survives any lossless round-trip through :mod:`repro.graph.io` and
+        changes when any edge is added, removed, or rewired.  ``CSRGraph``
+        itself is unweighted (``__slots__`` admits no ``weights``), but a
+        subclass that adds a ``weights`` array gets it folded in, so a
+        weighted variant can never alias its unweighted skeleton.  The CSR
+        arrays are treated as immutable after construction (everything in
+        this codebase reads but never writes them); mutating them in place
+        would silently invalidate the memo.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(digest_size=20)
+        arrays = [("offsets", self.offsets), ("neighbors", self.neighbors)]
+        weights = getattr(self, "weights", None)
+        if weights is not None:
+            arrays.append(("weights", weights))
+        for name, array in arrays:
+            digest.update(name.encode("ascii"))
+            digest.update(str(array.dtype).encode("ascii"))
+            digest.update(np.int64(array.shape[0]).tobytes())
+            digest.update(np.ascontiguousarray(array).tobytes())
+        value = digest.hexdigest()
+        self._fingerprint = value
+        return value
 
     # ------------------------------------------------------------------
     # Degrees and adjacency

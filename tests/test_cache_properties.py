@@ -1,0 +1,110 @@
+"""Property tests (hypothesis) for graph fingerprints.
+
+The cache's correctness rests on the fingerprint being a faithful content
+address: invariant under every lossless serialisation round-trip in
+:mod:`repro.graph.io`, and different whenever any edge changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, from_edge_arrays
+from repro.graph.builder import edge_arrays_of
+from repro.graph.io import (
+    load_npz,
+    read_adjacency_graph,
+    read_edge_list,
+    save_npz,
+    write_adjacency_graph,
+    write_edge_list,
+)
+
+MAX_VERTICES = 24
+
+
+@st.composite
+def graphs(draw, min_edges=0):
+    """A small simple undirected graph from an arbitrary edge list."""
+    n = draw(st.integers(min_value=2, max_value=MAX_VERTICES))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(
+        st.lists(st.tuples(vertex, vertex), min_size=min_edges, max_size=60).filter(
+            lambda pairs: sum(u != v for u, v in pairs) >= min_edges
+        )
+    )
+    sources = np.asarray([u for u, _ in edges], dtype=np.int64)
+    targets = np.asarray([v for _, v in edges], dtype=np.int64)
+    return from_edge_arrays(sources, targets, num_vertices=n)
+
+
+@given(graphs())
+def test_fingerprint_deterministic_across_rebuilds(graph):
+    rebuilt = CSRGraph(graph.offsets.copy(), graph.neighbors.copy())
+    assert rebuilt.fingerprint() == graph.fingerprint()
+
+
+@settings(max_examples=25)
+@given(graph=graphs())
+def test_fingerprint_invariant_under_io_round_trips(tmp_path_factory, graph):
+    directory = tmp_path_factory.mktemp("roundtrip")
+    reference = graph.fingerprint()
+
+    save_npz(graph, directory / "g.npz")
+    assert load_npz(directory / "g.npz").fingerprint() == reference
+
+    write_adjacency_graph(graph, directory / "g.adj")
+    assert read_adjacency_graph(directory / "g.adj").fingerprint() == reference
+
+    write_edge_list(graph, directory / "g.txt")
+    loaded = read_edge_list(directory / "g.txt", num_vertices=graph.num_vertices)
+    assert loaded.fingerprint() == reference
+
+
+@given(graphs(min_edges=1), st.data())
+def test_fingerprint_changes_when_an_edge_is_removed(graph, data):
+    sources, targets = edge_arrays_of(graph)
+    drop = data.draw(st.integers(min_value=0, max_value=len(sources) - 1))
+    keep = np.ones(len(sources), dtype=bool)
+    keep[drop] = False
+    smaller = from_edge_arrays(
+        sources[keep], targets[keep], num_vertices=graph.num_vertices
+    )
+    assert smaller.fingerprint() != graph.fingerprint()
+
+
+@given(graphs(), st.data())
+def test_fingerprint_changes_when_an_edge_is_added(graph, data):
+    n = graph.num_vertices
+    sources, targets = edge_arrays_of(graph)
+    present = set(zip(sources.tolist(), targets.tolist()))
+    absent = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if (u, v) not in present
+    ]
+    assume(absent)  # complete graphs have nothing to add
+    u, v = absent[data.draw(st.integers(min_value=0, max_value=len(absent) - 1))]
+    bigger = from_edge_arrays(
+        np.append(sources, u), np.append(targets, v), num_vertices=n
+    )
+    assert bigger.fingerprint() != graph.fingerprint()
+
+
+@given(graphs(min_edges=1))
+def test_fingerprint_sensitive_to_weights_if_present(graph):
+    # CSRGraph is unweighted today; the fingerprint is nevertheless
+    # specified to fold in a ``weights`` array should one be attached, so
+    # a future weighted variant cannot silently alias unweighted entries.
+    class Weighted(CSRGraph):
+        __slots__ = ("weights",)
+
+    weighted = Weighted(graph.offsets, graph.neighbors)
+    weighted.weights = np.ones(len(graph.neighbors), dtype=np.float64)
+    reweighted = Weighted(graph.offsets, graph.neighbors)
+    reweighted.weights = np.full(len(graph.neighbors), 2.0)
+    assert weighted.fingerprint() != graph.fingerprint()
+    assert weighted.fingerprint() != reweighted.fingerprint()

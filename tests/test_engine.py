@@ -8,6 +8,8 @@ exactly what the one-at-a-time high-level API returns.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -261,6 +263,60 @@ class TestReducers:
         collect, stats = BatchEngine(graph).run(jobs, [CollectReducer(), StatsReducer()])
         assert len(collect) == 2
         assert stats.jobs == 2
+
+
+class TestProcessPoolFallback:
+    """Non-fork start methods cannot share the CSR arrays zero-copy; the
+    backend must warn and run in-process instead of crashing or silently
+    copying the whole graph into every worker."""
+
+    JOBS = staticmethod(
+        lambda seeds: [
+            DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in seeds
+        ]
+    )
+
+    @pytest.fixture
+    def spawn_backend(self):
+        if "spawn" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("spawn start method unavailable on this platform")
+        return ProcessPoolBackend(start_method="spawn", workers=2)
+
+    def test_warns_and_matches_serial(self, graph, spawn_backend):
+        jobs = self.JOBS((0, 100, 200))
+        serial = BatchEngine(graph).run(jobs)
+        engine = BatchEngine(graph, backend=spawn_backend)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            outcomes = engine.run(jobs)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        for reference, outcome in zip(serial, outcomes):
+            assert np.array_equal(reference.cluster, outcome.cluster)
+            assert outcome.conductance == reference.conductance
+            assert outcome.pushes == reference.pushes
+
+    def test_fallback_folds_costs_like_serial(self, graph, spawn_backend):
+        # In-process execution folds per-job costs into the caller's
+        # tracker directly; the engine must not also record an aggregate
+        # "engine" entry on top (that would double-count).
+        assert spawn_backend.folds_into_tracker
+        engine = BatchEngine(graph, backend=spawn_backend)
+        with track() as tracker:
+            with pytest.warns(RuntimeWarning):
+                engine.run(self.JOBS((0, 100)))
+        assert "edge_map" in tracker.by_category
+        assert "engine" not in tracker.by_category
+
+    def test_empty_batch_does_not_warn(self, graph, spawn_backend):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert BatchEngine(graph, backend=spawn_backend).run([]) == []
+
+    def test_fork_backend_unaffected(self, graph):
+        if "fork" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("fork start method unavailable on this platform")
+        assert not ProcessPoolBackend(start_method="fork").folds_into_tracker
 
 
 class TestEngineConfiguration:

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import EvolvingSetParams, evolving_set_process
 from repro.core.quality import cluster_stats
-from repro.graph import barbell_graph, complete_graph
+from repro.graph import complete_graph
 
 
 class TestParams:

@@ -11,7 +11,6 @@ from repro.graph import (
     from_edge_list,
     induced_subgraph,
     largest_component_vertices,
-    planted_partition,
 )
 
 

@@ -16,7 +16,7 @@ from repro.core import (
     sweep_cut,
 )
 from repro.core.result import vector_items
-from repro.graph import cycle_graph, planted_partition
+from repro.graph import cycle_graph
 
 
 def _as_dict(result):

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import NibbleParams, nibble, nibble_parallel, nibble_sequential, sweep_cut
-from repro.graph import cycle_graph, planted_partition, star_graph
+from repro.graph import star_graph
 from repro.core.result import vector_items
 
 

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import sweep_cut, sweep_cut_parallel, sweep_cut_sequential, sweep_order
-from repro.graph import erdos_renyi, from_edge_list, planted_partition
+from repro.graph import erdos_renyi, from_edge_list
 from repro.prims import SparseDict, SparseVector
 
 # Mass vector giving the sweep order {A, B, C, D} on the Figure-1 graph:
