@@ -1,0 +1,176 @@
+"""Cost-aware scheduling — straggler tail of fifo vs cost-ordered chunks.
+
+The paper bounds PR-Nibble work by O(1/(eps*alpha)), so a mixed-eps NCP
+grid contains jobs whose costs span ~3 orders of magnitude.  Count-based
+(fifo) chunking lets one chunk collect the expensive corner of the grid
+and straggle the whole batch; the scheduler plane packs cost-balanced
+chunks longest-first instead.
+
+This benchmark quantifies the difference on exactly that workload:
+
+1. One serial pass measures every job's real wall time.
+2. Each schedule's chunk plan is replayed through a deterministic
+   list-scheduling simulation (chunks assigned, in dispatch order, to the
+   earliest-free of W workers) using the *measured* durations — giving
+   exact makespan and per-worker idle with zero timing noise.
+3. Both schedules also run for real through the process backend, and the
+   outcomes are asserted bit-identical to serial.
+
+The straggler tail is reported as p95 and max worker idle time (the time
+workers wait on the last chunk).  Results go to
+``results/bench_scheduler.csv`` and ``BENCH_scheduler.json``; the
+acceptance check asserts the cost schedule's simulated tail is no worse
+than fifo's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.bench import batched_run, format_seconds, format_table, write_csv
+from repro.core.seeding import random_seeds
+from repro.engine import BatchEngine, plan_chunks, run_job
+from repro.engine.reducers import StatsReducer
+
+GRAPH = "soc-LJ"
+NUM_SEEDS = 10
+ALPHAS = (0.05, 0.01)
+EPS_VALUES = (1e-3, 1e-4, 1e-5, 1e-6)  # ~1000x cost spread end to end
+WORKERS = 4
+
+
+def mixed_eps_jobs(graph):
+    from repro.engine import job_grid
+
+    seeds = random_seeds(graph, NUM_SEEDS, rng=11)
+    return list(job_grid(seeds, "pr-nibble", {"alpha": ALPHAS, "eps": EPS_VALUES}))
+
+
+def simulate_schedule(chunks, durations, workers):
+    """List-schedule ``chunks`` (in dispatch order) onto ``workers``.
+
+    Returns (makespan, per-worker idle array).  This mirrors how the pool
+    consumes ``imap_unordered`` input: each free worker takes the next
+    undispatched chunk; a chunk's run time is the sum of its jobs'
+    measured durations.
+    """
+    free_at = np.zeros(workers, dtype=np.float64)
+    for chunk in chunks:
+        cost = sum(durations[index] for index, _ in chunk)
+        worker = int(np.argmin(free_at))
+        free_at[worker] += cost
+    makespan = float(free_at.max())
+    idle = makespan - free_at
+    return makespan, idle
+
+
+def test_scheduler_straggler_tail(benchmark, graphs):
+    graph = graphs[GRAPH]
+    jobs = mixed_eps_jobs(graph)
+
+    def measure():
+        # 1. measured per-job durations (serial, includes the sweep)
+        durations = [
+            run_job(graph, job, index=index, include_vector=False).wall_seconds
+            for index, job in enumerate(jobs)
+        ]
+        # 2. simulated straggler tail per schedule
+        simulated = {}
+        for schedule in ("fifo", "cost"):
+            chunks = plan_chunks(jobs, WORKERS, schedule=schedule)
+            makespan, idle = simulate_schedule(chunks, durations, WORKERS)
+            simulated[schedule] = {
+                "chunks": len(chunks),
+                "makespan": makespan,
+                "idle_p95": float(np.percentile(idle, 95)),
+                "idle_max": float(idle.max()),
+                "idle_mean": float(idle.mean()),
+            }
+        # 3. real pool runs, asserted identical to serial
+        serial = BatchEngine(graph, include_vectors=False).run(jobs)
+        real = {}
+        for schedule in ("fifo", "cost"):
+            engine = BatchEngine(
+                graph,
+                backend="process",
+                workers=WORKERS,
+                include_vectors=False,
+                schedule=schedule,
+            )
+            real[schedule] = batched_run(engine, jobs, StatsReducer())
+        return durations, simulated, real, serial
+
+    durations, simulated, real, serial = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    # Determinism: both scheduled pool runs saw every job (stats match the
+    # serial pass), so scheduling changed placement, never results.
+    for schedule, run in real.items():
+        assert run.stats.jobs == len(jobs), schedule
+        assert run.stats.total_pushes == sum(o.pushes for o in serial), schedule
+
+    headers = ["schedule", "chunks", "sim makespan", "sim idle p95", "sim idle max", "real wall"]
+    rows = [
+        [
+            schedule,
+            simulated[schedule]["chunks"],
+            format_seconds(simulated[schedule]["makespan"]),
+            format_seconds(simulated[schedule]["idle_p95"]),
+            format_seconds(simulated[schedule]["idle_max"]),
+            format_seconds(real[schedule].wall_seconds),
+        ]
+        for schedule in ("fifo", "cost")
+    ]
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Straggler tail: {GRAPH} proxy, {len(jobs)}-job mixed-eps grid "
+            f"({NUM_SEEDS} seeds x {len(ALPHAS)} alphas x {len(EPS_VALUES)} eps), "
+            f"{WORKERS} workers",
+        )
+    )
+    write_csv(
+        "bench_scheduler",
+        ["schedule", "chunks", "sim_makespan", "sim_idle_p95", "sim_idle_max", "real_wall_seconds"],
+        [
+            [
+                schedule,
+                simulated[schedule]["chunks"],
+                simulated[schedule]["makespan"],
+                simulated[schedule]["idle_p95"],
+                simulated[schedule]["idle_max"],
+                real[schedule].wall_seconds,
+            ]
+            for schedule in ("fifo", "cost")
+        ],
+    )
+    summary = {
+        "graph": GRAPH,
+        "jobs": len(jobs),
+        "workers": WORKERS,
+        "total_job_seconds": float(sum(durations)),
+        "simulated": simulated,
+        "real_wall_seconds": {s: real[s].wall_seconds for s in real},
+        "tail_reduction_p95": simulated["fifo"]["idle_p95"]
+        - simulated["cost"]["idle_p95"],
+    }
+    pathlib.Path("BENCH_scheduler.json").write_text(json.dumps(summary, indent=2))
+    print(json.dumps(summary, indent=2))
+
+    # The acceptance criterion: cost-ordered chunking must not straggle
+    # worse than fifo on the mixed-eps grid (deterministic simulation on
+    # measured durations, so this is noise-free).  Skipped under
+    # REPRO_BENCH_SMOKE: on the ~50x-shrunk CI proxies an eps=1e-6 job
+    # costs the same as an eps=1e-4 one (push counts saturate at graph
+    # size), so the analytic estimate cannot rank jobs there and the
+    # figures are recorded for trend tracking only.
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1":
+        assert simulated["cost"]["idle_p95"] <= simulated["fifo"]["idle_p95"] * (1 + 1e-9)
+        assert simulated["cost"]["makespan"] <= simulated["fifo"]["makespan"] * (1 + 1e-9)

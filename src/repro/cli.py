@@ -166,6 +166,8 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
         rng=args.rng,
         workers=args.workers,
         cache=cache,
+        start_method=args.start_method,
+        schedule=args.schedule,
     )
     sizes, phis = profile.series()
     out = Path(args.output)
@@ -213,6 +215,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=workers,
         include_vectors=False,
         cache=cache,
+        start_method=args.start_method,
+        schedule=args.schedule,
     )
     # Stream outcomes straight to CSV so a large batch never lives in memory.
     stats_reducer = StatsReducer()
@@ -322,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process-pool workers for the batch engine (1 = serial)",
     )
+    _add_pool_flags(ncp)
     _add_cache_flags(ncp)
     ncp.set_defaults(run=_cmd_ncp)
 
@@ -360,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process-pool workers (1 = serial)"
     )
     batch.add_argument("--rng", type=int, default=0)
+    _add_pool_flags(batch)
     _add_cache_flags(batch)
     batch.set_defaults(run=_cmd_batch)
 
@@ -372,6 +378,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.set_defaults(run=_cmd_cache)
     return parser
+
+
+def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--start-method",
+        default=None,
+        metavar="METHOD",
+        help="multiprocessing start method for the worker pool (fork, spawn, "
+        "forkserver; default: $REPRO_START_METHOD or the platform's best). "
+        "Every method fans out — non-fork ones attach the graph via shared "
+        "memory",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["cost", "fifo"],
+        default="cost",
+        help="chunking policy: 'cost' packs cost-balanced, longest-first "
+        "chunks from the O(1/(eps*alpha))-style work bounds (default); "
+        "'fifo' uses contiguous count-based chunks",
+    )
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:

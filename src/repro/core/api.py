@@ -95,6 +95,8 @@ def cluster_many(
     engine: "Any | str | None" = None,
     workers: int | None = None,
     cache: "Any | bool | str | None" = None,
+    start_method: str | None = None,
+    schedule: str | None = None,
     **param_overrides: Any,
 ) -> list[ClusterResult]:
     """Run :func:`local_cluster` from many seeds as one batch.
@@ -102,7 +104,9 @@ def cluster_many(
     The per-seed queries are independent, so they dispatch through the
     batch engine (:mod:`repro.engine`): ``workers=4`` — or a prebuilt
     :class:`repro.engine.BatchEngine` via ``engine`` — fans them across a
-    process pool; the default serial backend matches a plain Python loop
+    process pool on any platform (non-``fork`` start methods attach the
+    graph through shared memory; see ``start_method`` / ``schedule`` on
+    the engine); the default serial backend matches a plain Python loop
     over :func:`local_cluster` result-for-result.  Randomized methods draw
     one sub-seed per job from ``rng`` up front, so results do not depend
     on the backend, the worker count, or the completion order.
@@ -128,7 +132,15 @@ def cluster_many(
         DiffusionJob.make(seed, method=method, params=param_overrides, rng=sub)
         for seed, sub in zip(seed_array.tolist(), sub_seeds.tolist())
     ]
-    batch = resolve_engine(graph, engine, workers=workers, parallel=parallel, cache=cache)
+    batch = resolve_engine(
+        graph,
+        engine,
+        workers=workers,
+        parallel=parallel,
+        cache=cache,
+        start_method=start_method,
+        schedule=schedule,
+    )
     if not batch.include_vectors:
         raise ValueError(
             "cluster_many rebuilds full ClusterResults and needs the diffusion "

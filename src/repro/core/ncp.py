@@ -82,6 +82,8 @@ def ncp_profile(
     engine: "Any | str | None" = None,
     workers: int | None = None,
     cache: "Any | bool | str | None" = None,
+    start_method: str | None = None,
+    schedule: str | None = None,
 ) -> NCPResult:
     """Generate an NCP by sweeping PR-Nibble over seeds and parameters.
 
@@ -91,8 +93,13 @@ def ncp_profile(
 
     The (seed, alpha, eps) jobs are independent, so they run through the
     batch engine: ``workers=4`` (or ``engine="process"``) fans them out
-    across a process pool; the default is the deterministic serial
-    backend, which reproduces the historical one-at-a-time loop exactly.
+    across a process pool (on any platform — non-``fork`` start methods
+    attach the graph through shared memory); the default is the
+    deterministic serial backend, which reproduces the historical
+    one-at-a-time loop exactly.  ``start_method`` and ``schedule``
+    (``"cost"`` cost-balanced chunks, the default, or ``"fifo"``) tune
+    the pool; mixed-eps grids are exactly the workload cost scheduling
+    de-straggles, since PR-Nibble work scales as O(1/(eps*alpha)).
     A prebuilt :class:`repro.engine.BatchEngine` is accepted via
     ``engine`` for callers issuing many profiles against one graph.
     The pointwise-minimum reduction is order- and partition-independent,
@@ -121,5 +128,7 @@ def ncp_profile(
         parallel=parallel,
         include_vectors=False,
         cache=cache,
+        start_method=start_method,
+        schedule=schedule,
     )
     return batch.run(jobs, NCPReducer(limit))

@@ -9,7 +9,12 @@ with varying alpha and eps.  This subsystem mechanises that outer loop:
 * :mod:`repro.engine.executor` — :class:`BatchEngine` dispatching jobs to
   a :class:`SerialBackend` (deterministic default) or a
   :class:`ProcessPoolBackend` that shares the read-only CSR arrays with
-  its workers, yielding :class:`JobOutcome` records in job order.
+  its workers under *any* start method (copy-on-write under ``fork``,
+  shared-memory attach elsewhere), yielding :class:`JobOutcome` records
+  in job order.
+* :mod:`repro.engine.scheduler` — method-aware per-job cost estimates
+  (the paper's O(1/(eps*alpha)) push bound and friends) packed into
+  cost-balanced, longest-first chunks so mixed-eps grids don't straggle.
 * :mod:`repro.engine.reducers` — streaming aggregation of outcomes into
   NCP profiles, best clusters, or throughput statistics.
 
@@ -25,12 +30,14 @@ with varying alpha and eps.  This subsystem mechanises that outer loop:
 from .executor import (
     BatchEngine,
     JobOutcome,
+    PoolBackend,
     ProcessPoolBackend,
     SerialBackend,
     resolve_engine,
     run_job,
 )
 from .jobs import DiffusionJob, job_grid
+from .scheduler import SCHEDULES, chunk_costs, estimate_cost, plan_chunks
 from .reducers import (
     BatchStats,
     BestClusterReducer,
@@ -43,12 +50,17 @@ from .reducers import (
 __all__ = [
     "BatchEngine",
     "JobOutcome",
+    "PoolBackend",
     "ProcessPoolBackend",
     "SerialBackend",
     "resolve_engine",
     "run_job",
     "DiffusionJob",
     "job_grid",
+    "SCHEDULES",
+    "chunk_costs",
+    "estimate_cost",
+    "plan_chunks",
     "BatchStats",
     "BestClusterReducer",
     "CollectReducer",

@@ -7,20 +7,25 @@ computation (a diffusion plus a sweep cut), so a stream of jobs can be
 fanned out across a process pool while each individual job still uses the
 intra-query parallel (bulk-synchronous) implementations.
 
-Two backends implement the same contract — outcomes are delivered **in job
-order**, so every reducer sees a deterministic stream at any worker count:
+The execution layer is organised in three planes:
 
-* :class:`SerialBackend` — runs jobs in the calling process.  The default,
-  the fallback, and the reference for determinism tests.
-* :class:`ProcessPoolBackend` — a ``multiprocessing`` pool.  Under the
-  (default, where available) ``fork`` start method the workers *share* the
-  parent's read-only CSR arrays through copy-on-write pages: the graph is
-  placed in module state before the fork and is never pickled, copied or
-  re-validated per job.  Under ``spawn``/``forkserver`` sharing is
-  impossible, so the backend warns and falls back to in-process serial
-  execution rather than silently shipping a full copy of the graph to
-  every worker (``multiprocessing.shared_memory`` attach for those
-  platforms is a ROADMAP item).
+* **Graph plane** (:mod:`repro.graph.shared`) — every worker reads the one
+  shared CSR graph.  Under the ``fork`` start method workers inherit the
+  parent's arrays through copy-on-write pages; under ``spawn`` and
+  ``forkserver`` the parent exports the arrays once into
+  ``multiprocessing.shared_memory`` segments and workers attach zero-copy.
+  Either way the graph is never pickled, copied per job, or re-validated.
+* **Scheduler plane** (:mod:`repro.engine.scheduler`) — jobs are packed
+  into cost-balanced chunks (longest-first, method-aware O(1/(eps*alpha))
+  style estimates) so one expensive corner of a parameter grid cannot
+  straggle the batch.  ``schedule="fifo"`` restores plain count-based
+  chunking.
+* **Backend plane** (this module) — :class:`PoolBackend` owns the shared
+  in-process execution loop; :class:`SerialBackend` is exactly that loop,
+  and :class:`ProcessPoolBackend` adds the pool, the graph hand-off and
+  the chunk dispatch.  Both deliver outcomes **in job order**, so every
+  reducer sees a deterministic stream at any worker count, under any
+  start method, with either schedule.
 
 A third backend, :class:`repro.cache.CachingBackend`, wraps either of the
 above so that only cache misses are dispatched; construct engines with
@@ -37,7 +42,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
@@ -51,18 +55,26 @@ from ..prims.sparse import SparseDict
 from ..runtime import record, track
 from .jobs import DiffusionJob
 from .reducers import CollectReducer, Reducer
+from .scheduler import SCHEDULES, fifo_chunk_size, plan_chunks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import CachingBackend, ResultCache
+    from ..graph.shared import SharedCSR
 
 __all__ = [
     "JobOutcome",
     "run_job",
+    "PoolBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "BatchEngine",
     "resolve_engine",
 ]
+
+#: environment override for the default start method — CI forces
+#: ``REPRO_START_METHOD=spawn`` to exercise the shared-memory graph plane
+#: on platforms whose default is ``fork``.
+START_METHOD_ENV = "REPRO_START_METHOD"
 
 
 @dataclass
@@ -204,55 +216,74 @@ def run_job(
 
 
 # ----------------------------------------------------------------------
-# Worker-process state.  Populated once per worker by the pool
-# initializer; under the fork start method the CSRGraph object (and its
-# numpy arrays) is inherited from the parent via copy-on-write pages and
-# is therefore genuinely shared, not serialised.
+# Worker-process state, populated once per worker by the pool initializer.
+# Under ``fork`` the CSR arrays arrive through copy-on-write inheritance;
+# under ``spawn``/``forkserver`` the worker attaches to the parent's
+# shared-memory segments.  Either way the graph is shared, not serialised.
 # ----------------------------------------------------------------------
 _WORKER_GRAPH: CSRGraph | None = None
+_WORKER_SHARED: "SharedCSR | None" = None
 _WORKER_PARALLEL: bool = True
 _WORKER_INCLUDE_VECTORS: bool = True
 
 
-def _worker_init(
-    offsets: np.ndarray, neighbors: np.ndarray, parallel: bool, include_vectors: bool
-) -> None:
-    global _WORKER_GRAPH, _WORKER_PARALLEL, _WORKER_INCLUDE_VECTORS
-    graph = CSRGraph.__new__(CSRGraph)  # arrays were validated in the parent
-    graph.offsets = offsets
-    graph.neighbors = neighbors
+def _worker_init(payload: tuple, parallel: bool, include_vectors: bool) -> None:
+    global _WORKER_GRAPH, _WORKER_SHARED, _WORKER_PARALLEL, _WORKER_INCLUDE_VECTORS
+    kind, *rest = payload
+    if kind == "fork":
+        offsets, neighbors = rest
+        graph = CSRGraph.__new__(CSRGraph)  # arrays were validated in the parent
+        graph.offsets = offsets
+        graph.neighbors = neighbors
+    else:  # "shared": attach zero-copy; keep the segments alive for the
+        # worker's whole life (the attachment holds them).
+        (handle,) = rest
+        _WORKER_SHARED = CSRGraph.attach(handle)
+        graph = _WORKER_SHARED.graph
     _WORKER_GRAPH = graph
     _WORKER_PARALLEL = parallel
     _WORKER_INCLUDE_VECTORS = include_vectors
 
 
-def _worker_run(item: tuple[int, DiffusionJob]) -> JobOutcome:
-    index, job = item
+def _worker_run_chunk(chunk: Sequence[tuple[int, DiffusionJob]]) -> list[JobOutcome]:
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
-    return run_job(
-        _WORKER_GRAPH,
-        job,
-        index=index,
-        parallel=_WORKER_PARALLEL,
-        include_vector=_WORKER_INCLUDE_VECTORS,
-    )
+    return [
+        run_job(
+            _WORKER_GRAPH,
+            job,
+            index=index,
+            parallel=_WORKER_PARALLEL,
+            include_vector=_WORKER_INCLUDE_VECTORS,
+        )
+        for index, job in chunk
+    ]
 
 
-class SerialBackend:
-    """Run jobs in the calling process, one after another.
+class PoolBackend:
+    """Base of the execution backends: the shared in-process job loop.
 
-    Deterministic by construction and free of pool start-up cost — the
-    right choice for small batches, for debugging, and as the reference
-    implementation the process backend is tested against.  Per-job
-    work-depth records fold into any active tracker automatically (nested
-    ``track()`` regions merge outward).
+    Subclasses override :meth:`stream`; the base implementation — one job
+    after another in the calling process, outcomes in job order — is both
+    :class:`SerialBackend`'s whole behaviour and the single place any
+    in-process execution lives (the process backend used to duplicate this
+    loop as its non-fork fallback; that path no longer exists).
     """
 
-    #: per-job costs already reach the caller's tracker via nested track()
+    #: per-job costs reach the caller's tracker via nested track() when
+    #: jobs run in-process; pool subclasses record an aggregate instead.
     folds_into_tracker = True
     workers = 1
 
     def stream(
+        self,
+        graph: CSRGraph,
+        jobs: Sequence[DiffusionJob],
+        parallel: bool,
+        include_vectors: bool,
+    ) -> Iterator[JobOutcome]:
+        return self._run_inline(graph, jobs, parallel, include_vectors)
+
+    def _run_inline(
         self,
         graph: CSRGraph,
         jobs: Sequence[DiffusionJob],
@@ -265,22 +296,45 @@ class SerialBackend:
             )
 
 
-class ProcessPoolBackend:
+class SerialBackend(PoolBackend):
+    """Run jobs in the calling process, one after another.
+
+    Deterministic by construction and free of pool start-up cost — the
+    right choice for small batches, for debugging, and as the reference
+    implementation the process backend is tested against.  Per-job
+    work-depth records fold into any active tracker automatically (nested
+    ``track()`` regions merge outward).
+    """
+
+
+class ProcessPoolBackend(PoolBackend):
     """Fan jobs out across a ``multiprocessing`` pool.
 
-    Outcomes are yielded with ``imap`` in submission order, so reducers in
-    the parent observe the identical deterministic stream the serial
-    backend produces.  ``chunk_size`` controls how many jobs travel per
-    IPC round-trip (default: enough for ~8 chunks per worker, capped so
-    stragglers cannot hold a whole quarter of the batch).
+    The graph reaches the workers through the graph plane: copy-on-write
+    inheritance under ``fork``, shared-memory attach
+    (:class:`repro.graph.shared.SharedCSR`) under ``spawn`` and
+    ``forkserver`` — every start method gets real multi-process fan-out
+    with the same no-copy, no-per-job-pickling behaviour.  Segments are
+    unlinked deterministically when the stream finishes (an ``atexit``
+    guard covers abandoned streams).
 
-    The zero-copy graph sharing this backend is built around exists only
-    under the ``fork`` start method.  On platforms (or with an explicit
-    ``start_method``) where ``fork`` is not in play, :meth:`stream` warns
-    and runs the batch in-process instead — results are identical (the
-    engine's determinism contract holds at any worker count), only the
-    fan-out is lost.  Shared-memory attach for ``spawn``/``forkserver``
-    is tracked on the ROADMAP.
+    Jobs are packed into chunks by the scheduler plane
+    (:mod:`repro.engine.scheduler`): ``schedule="cost"`` (default) builds
+    cost-balanced chunks, ordered longest-first, from the paper's
+    O(1/(eps*alpha))-style work bounds, so mixed-eps grids do not straggle;
+    ``schedule="fifo"`` restores contiguous count-based chunks.
+    ``chunk_size`` keeps its historical "jobs per IPC round-trip" meaning
+    under both schedules.
+
+    Chunks execute out of order across workers, but every outcome carries
+    its original index and the stream re-emits them **in job order**, so
+    reducers in the parent observe the identical deterministic stream the
+    serial backend produces.  Re-ordering buffers completed outcomes
+    until their index is next; under ``schedule="cost"`` (non-contiguous
+    chunks) that buffer can, in the worst case, approach the batch size —
+    prefer ``include_vectors=False`` for huge batches (outcomes shrink to
+    counters + sweep), or ``schedule="fifo"`` to keep the buffer at the
+    in-flight chunks.
     """
 
     folds_into_tracker = False
@@ -290,25 +344,38 @@ class ProcessPoolBackend:
         workers: int | None = None,
         start_method: str | None = None,
         chunk_size: int | None = None,
+        schedule: str = "cost",
     ) -> None:
         available = multiprocessing.get_all_start_methods()
         if start_method is None:
+            start_method = os.environ.get(START_METHOD_ENV) or None
+        if start_method is None:
             start_method = "fork" if "fork" in available else available[0]
-        elif start_method not in available:
+        if start_method not in available:
             raise ValueError(
                 f"start method {start_method!r} unavailable; choose from {available}"
+            )
+        if schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
             )
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.start_method = start_method
         self.chunk_size = chunk_size
-        # The non-fork fallback runs jobs in-process, where nested track()
-        # regions already fold per-job costs outward (like SerialBackend).
-        self.folds_into_tracker = start_method != "fork"
+        self.schedule = schedule
 
     def _chunk_size(self, num_jobs: int) -> int:
-        if self.chunk_size is not None:
-            return max(1, self.chunk_size)
-        return max(1, min(32, num_jobs // (self.workers * 8) or 1))
+        """Jobs per chunk for count-based plans — delegates to the
+        scheduler's single sizing rule (kept as the historical entry
+        point callers and tests know)."""
+        return fifo_chunk_size(num_jobs, self.workers, self.chunk_size)
+
+    def _graph_payload(self, graph: CSRGraph) -> "tuple[tuple, SharedCSR | None]":
+        """(initializer payload, owning SharedCSR to unlink — or None)."""
+        if self.start_method == "fork":
+            return ("fork", graph.offsets, graph.neighbors), None
+        shared = graph.share()
+        return ("shared", shared.handle()), shared
 
     def stream(
         self,
@@ -320,33 +387,30 @@ class ProcessPoolBackend:
         jobs = list(jobs)
         if not jobs:
             return
-        if self.start_method != "fork":
-            warnings.warn(
-                f"process-pool start method {self.start_method!r} cannot share "
-                "the CSR arrays zero-copy; falling back to in-process serial "
-                "execution (results are identical; see ROADMAP: shared-memory "
-                "attach for spawn)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            for index, job in enumerate(jobs):
-                yield run_job(
-                    graph,
-                    job,
-                    index=index,
-                    parallel=parallel,
-                    include_vector=include_vectors,
-                )
-            return
+        chunks = plan_chunks(
+            jobs, self.workers, schedule=self.schedule, chunk_size=self.chunk_size
+        )
+        payload, shared = self._graph_payload(graph)
         context = multiprocessing.get_context(self.start_method)
-        with context.Pool(
-            processes=self.workers,
-            initializer=_worker_init,
-            initargs=(graph.offsets, graph.neighbors, parallel, include_vectors),
-        ) as pool:
-            yield from pool.imap(
-                _worker_run, enumerate(jobs), chunksize=self._chunk_size(len(jobs))
-            )
+        try:
+            with context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(payload, parallel, include_vectors),
+            ) as pool:
+                # Chunks complete in arbitrary order; re-emit outcomes in
+                # job order so the deterministic stream contract holds.
+                pending: dict[int, JobOutcome] = {}
+                next_index = 0
+                for outcomes in pool.imap_unordered(_worker_run_chunk, chunks):
+                    for outcome in outcomes:
+                        pending[outcome.index] = outcome
+                    while next_index in pending:
+                        yield pending.pop(next_index)
+                        next_index += 1
+        finally:
+            if shared is not None:
+                shared.unlink()
 
 
 class BatchEngine:
@@ -369,6 +433,17 @@ class BatchEngine:
         Retain each job's diffusion vector on its outcome.  Disable for
         pure profile/statistics batches (e.g. NCP) to keep inter-process
         traffic and reducer memory proportional to the sweep alone.
+    start_method:
+        ``multiprocessing`` start method for the process backend
+        (``"fork"``, ``"spawn"``, ``"forkserver"``).  Any of them fans
+        out for real — non-fork methods attach the graph through shared
+        memory.  Default: ``$REPRO_START_METHOD``, else ``fork`` where
+        available.  Only consulted when the backend is built by name.
+    schedule:
+        Chunking policy for the process backend: ``"cost"`` (default,
+        cost-balanced longest-first chunks) or ``"fifo"`` (contiguous
+        count-based chunks).  Only consulted when the backend is built by
+        name.
     cache:
         Memoise job outcomes keyed by (graph fingerprint, method,
         canonical params, seed set): ``True`` for a fresh in-memory
@@ -387,11 +462,13 @@ class BatchEngine:
     def __init__(
         self,
         graph: CSRGraph,
-        backend: "str | SerialBackend | ProcessPoolBackend | CachingBackend | None" = None,
+        backend: "str | PoolBackend | CachingBackend | None" = None,
         workers: int | None = None,
         parallel: bool = True,
         include_vectors: bool = True,
         cache: "ResultCache | bool | str | None" = None,
+        start_method: str | None = None,
+        schedule: str | None = None,
     ) -> None:
         from ..cache import CachingBackend, resolve_cache
 
@@ -401,12 +478,14 @@ class BatchEngine:
         if backend is None:
             backend = "process" if workers is not None and workers > 1 else "serial"
         if backend == "serial":
-            self.backend: "SerialBackend | ProcessPoolBackend | CachingBackend" = (
-                SerialBackend()
-            )
+            self.backend: "PoolBackend | CachingBackend" = SerialBackend()
         elif backend == "process":
-            self.backend = ProcessPoolBackend(workers=workers)
-        elif isinstance(backend, (SerialBackend, ProcessPoolBackend, CachingBackend)):
+            self.backend = ProcessPoolBackend(
+                workers=workers,
+                start_method=start_method,
+                schedule=schedule if schedule is not None else "cost",
+            )
+        elif isinstance(backend, (PoolBackend, CachingBackend)):
             self.backend = backend
         else:
             raise ValueError(
@@ -475,18 +554,24 @@ def resolve_engine(
     parallel: bool = True,
     include_vectors: bool = True,
     cache: "ResultCache | bool | str | None" = None,
+    start_method: str | None = None,
+    schedule: str | None = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
-    ``engine`` may be a ready :class:`BatchEngine` (returned as-is; it must
-    target the same graph, and it keeps its own cache configuration), a
-    backend name, or ``None`` to infer the backend from ``workers``
-    exactly like the :class:`BatchEngine` constructor does.  ``cache``
-    follows the constructor's spec (``True`` / directory path /
-    :class:`repro.cache.ResultCache`).
+    ``engine`` may be a ready :class:`BatchEngine` (returned as-is; it
+    keeps its own backend, scheduling and cache configuration), a backend
+    name, or ``None`` to infer the backend from ``workers`` exactly like
+    the :class:`BatchEngine` constructor does.  A ready engine must target
+    a graph whose *content* matches ``graph``: the fast path accepts the
+    identical object, otherwise the CSR fingerprints are compared, so an
+    engine built for a content-identical copy (say, the same graph
+    reloaded from disk) is accepted rather than rejected on object
+    identity.  ``cache``, ``start_method`` and ``schedule`` follow the
+    constructor's spec.
     """
     if isinstance(engine, BatchEngine):
-        if engine.graph is not graph:
+        if engine.graph is not graph and engine.graph.fingerprint() != graph.fingerprint():
             raise ValueError("engine was built for a different graph")
         return engine
     return BatchEngine(
@@ -496,4 +581,6 @@ def resolve_engine(
         parallel=parallel,
         include_vectors=include_vectors,
         cache=cache,
+        start_method=start_method,
+        schedule=schedule,
     )

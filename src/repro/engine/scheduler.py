@@ -1,0 +1,179 @@
+"""Cost-aware job scheduling: estimate, order longest-first, pack balanced.
+
+Job costs in a local-clustering batch vary by orders of magnitude: the
+paper bounds PR-Nibble's work by O(1/(eps*alpha)) (Section 3), so one
+``eps=1e-7`` query costs ~1000x an ``eps=1e-4`` one, and a mixed NCP grid
+interleaves both.  The engine's historical count-based ``imap`` chunking
+ignored that: a chunk that happened to collect the expensive corner of the
+grid became a straggler holding the whole batch while every other worker
+idled.
+
+This module is the scheduler plane that replaces it.  It has two halves:
+
+* :func:`estimate_cost` — a *method-aware* a-priori cost per job, from the
+  closed-form work bounds in :mod:`repro.runtime.cost_model` (eps/alpha
+  push bounds for the deterministic diffusions, N x walk-length for the
+  Monte-Carlo one).  Estimates only need to *rank* jobs and get relative
+  magnitudes roughly right; they are never reported as measurements.
+* :func:`plan_chunks` — turns a job list into the chunks the process pool
+  dispatches.  ``"fifo"`` reproduces the old contiguous count-based
+  slicing.  ``"cost"`` (the default) sorts jobs longest-first and packs
+  them greedily onto the currently-lightest chunk (LPT scheduling), with
+  the chunk count capped so that no chunk can exceed twice the mean chunk
+  cost under the estimate — the classic 2-approximation guarantee, which
+  the property tests assert directly.
+
+Chunks are emitted heaviest-first, so the most expensive work starts the
+moment the pool does and the tail of the batch is made of cheap chunks
+that cannot straggle.  Determinism is unaffected: chunk packing decides
+only *where and when* a job runs; every outcome carries its original batch
+index and the executor re-emits the stream in job order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Sequence
+
+from ..core.api import ALGORITHMS
+from ..runtime.cost_model import (
+    ppr_push_work_bound,
+    random_walk_work_bound,
+    truncated_iteration_work_bound,
+)
+from .jobs import DiffusionJob
+
+__all__ = ["SCHEDULES", "estimate_cost", "plan_chunks", "chunk_costs", "fifo_chunk_size"]
+
+#: recognised values of the engine-facing ``schedule=`` knob.
+SCHEDULES = ("cost", "fifo")
+
+#: floor applied to every estimate so degenerate parameter corners can
+#: never produce a zero-cost job (which would break load ratios).
+_MIN_COST = 1.0
+
+#: target chunks per worker.  Several chunks per worker lets the pool
+#: rebalance when estimates are off; too many wastes IPC round-trips.
+#: 8 matches the historical count-based chunking's sizing rule.
+CHUNKS_PER_WORKER = 8
+
+
+def estimate_cost(job: DiffusionJob) -> float:
+    """A-priori work estimate for one job, in (approximate) push units.
+
+    Dispatches on the method to the closed-form bounds of
+    :mod:`repro.runtime.cost_model`, instantiating the method's parameter
+    dataclass so defaults are filled exactly as execution will fill them.
+    Unknown methods (a job that would fail at execution time anyway) get
+    the floor cost rather than an exception — scheduling must never be the
+    thing that aborts a batch.
+    """
+    if job.method not in ALGORITHMS:
+        return _MIN_COST
+    params_cls, _, _ = ALGORITHMS[job.method]
+    try:
+        params = params_cls(**job.params)
+    except (TypeError, ValueError):
+        return _MIN_COST
+    if job.method == "pr-nibble":
+        cost = ppr_push_work_bound(params.alpha, params.eps)
+    elif job.method == "nibble":
+        cost = truncated_iteration_work_bound(params.max_iterations, params.eps)
+    elif job.method == "hk-pr":
+        # Kloster-Gleich style push bound: N Taylor terms, each thresholded
+        # at eps — the same 1/eps locality with the degree N as the "1/alpha".
+        cost = ppr_push_work_bound(1.0 / params.taylor_degree, params.eps)
+    else:  # rand-hk-pr
+        cost = random_walk_work_bound(params.num_walks, params.max_walk_length)
+    return max(cost, _MIN_COST)
+
+
+def chunk_costs(
+    chunks: Sequence[Sequence[tuple[int, DiffusionJob]]],
+    estimator: Callable[[DiffusionJob], float] = estimate_cost,
+) -> list[float]:
+    """Total estimated cost of each chunk (benchmark/diagnostic helper)."""
+    return [sum(estimator(job) for _, job in chunk) for chunk in chunks]
+
+
+def fifo_chunk_size(num_jobs: int, workers: int, chunk_size: int | None = None) -> int:
+    """Jobs per chunk for count-based plans: ~8 chunks per worker, capped
+    at 32 jobs, floored at 1 — the historical ``imap`` sizing rule.  The
+    single implementation behind both :func:`plan_chunks` and
+    ``ProcessPoolBackend._chunk_size``."""
+    if chunk_size is not None:
+        return max(1, chunk_size)
+    return max(1, min(32, num_jobs // (max(1, workers) * CHUNKS_PER_WORKER) or 1))
+
+
+def _fifo_chunks(
+    jobs: Sequence[DiffusionJob], size: int
+) -> list[list[tuple[int, DiffusionJob]]]:
+    indexed = list(enumerate(jobs))
+    return [indexed[start : start + size] for start in range(0, len(indexed), size)]
+
+
+def _cost_chunks(
+    jobs: Sequence[DiffusionJob],
+    desired: int,
+    estimator: Callable[[DiffusionJob], float],
+) -> list[list[tuple[int, DiffusionJob]]]:
+    costs = [max(estimator(job), _MIN_COST) for job in jobs]
+    total = sum(costs)
+    heaviest = max(costs)
+    # Cap the chunk count so the per-chunk cost target total/k is at least
+    # the heaviest single job.  Greedy least-loaded assignment then bounds
+    # every chunk by target + heaviest <= 2 * total/k <= 2 * mean over the
+    # chunks actually used — the balance guarantee the tests assert.
+    k = max(1, min(desired, len(jobs), int(total // heaviest)))
+    order = sorted(range(len(jobs)), key=lambda i: (-costs[i], i))
+    members: list[list[int]] = [[] for _ in range(k)]
+    # Least-loaded-first assignment via a heap: O(n log k), with the bin
+    # index as deterministic tie-break on equal loads.
+    heap = [(0.0, b) for b in range(k)]
+    for i in order:
+        load, lightest = heapq.heappop(heap)
+        members[lightest].append(i)
+        heapq.heappush(heap, (load + costs[i], lightest))
+    loads = {b: load for load, b in heap}
+    packed = [
+        (loads[b], chunk) for b, chunk in enumerate(members) if chunk
+    ]
+    # Heaviest chunk first: stragglers start at t=0, cheap chunks fill the
+    # tail.  Tie-break on first member for a deterministic plan.
+    packed.sort(key=lambda item: (-item[0], item[1][0]))
+    return [[(i, jobs[i]) for i in chunk] for _, chunk in packed]
+
+
+def plan_chunks(
+    jobs: Sequence[DiffusionJob],
+    workers: int,
+    schedule: str = "cost",
+    chunk_size: int | None = None,
+    estimator: Callable[[DiffusionJob], float] = estimate_cost,
+) -> list[list[tuple[int, DiffusionJob]]]:
+    """Partition ``jobs`` into the chunks the pool will dispatch.
+
+    Every chunk entry is ``(original_index, job)``; the chunks always
+    cover the batch exactly once (asserted by property tests).  With
+    ``schedule="fifo"`` chunks are contiguous index ranges of the
+    historical count-based size (or explicit ``chunk_size``); with
+    ``schedule="cost"`` they are cost-balanced by the estimator, and
+    ``chunk_size`` instead bounds how many chunks are formed
+    (``len(jobs)/chunk_size``, so the flag keeps its "jobs per IPC
+    round-trip" meaning under both schedules).
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = max(1, workers)
+    size = fifo_chunk_size(len(jobs), workers, chunk_size)
+    if schedule == "fifo":
+        return _fifo_chunks(jobs, size)
+    if chunk_size is not None:
+        desired = -(-len(jobs) // size)
+    else:
+        desired = workers * CHUNKS_PER_WORKER
+    return _cost_chunks(jobs, desired, estimator)

@@ -38,6 +38,7 @@ from .io import (
     write_edge_list,
 )
 from .proxies import PROXIES, ProxySpec, default_scale, load_proxy, proxy_names
+from .shared import SharedCSR, SharedCSRHandle
 
 __all__ = [
     "CSRGraph",
@@ -74,4 +75,6 @@ __all__ = [
     "default_scale",
     "load_proxy",
     "proxy_names",
+    "SharedCSR",
+    "SharedCSRHandle",
 ]

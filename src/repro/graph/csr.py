@@ -15,11 +15,15 @@ O(volume) work and O(log volume) depth — exactly the cost Ligra's
 from __future__ import annotations
 
 import hashlib
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..prims.scan import exclusive_prefix_sum
 from ..runtime import log2ceil, record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .shared import SharedCSR, SharedCSRHandle
 
 __all__ = ["CSRGraph"]
 
@@ -105,6 +109,34 @@ class CSRGraph:
         value = digest.hexdigest()
         self._fingerprint = value
         return value
+
+    # ------------------------------------------------------------------
+    # Shared-memory export (the engine's cross-process graph plane)
+    # ------------------------------------------------------------------
+    def share(self) -> "SharedCSR":
+        """Export the CSR arrays into shared-memory segments.
+
+        Returns an owning :class:`repro.graph.shared.SharedCSR`; pass its
+        ``handle()`` to worker processes and rebuild the graph there with
+        :meth:`attach`.  The caller (or an ``atexit`` guard) must
+        ``unlink()`` the segments — ``with graph.share() as shared: ...``
+        does so deterministically.
+        """
+        from .shared import SharedCSR
+
+        return SharedCSR.create(self)
+
+    @classmethod
+    def attach(cls, handle: "SharedCSRHandle") -> "SharedCSR":
+        """Attach zero-copy to a graph exported by :meth:`share`.
+
+        Works under any ``multiprocessing`` start method; the returned
+        :class:`SharedCSR`'s ``graph`` attribute is a read-only
+        :class:`CSRGraph` view over the shared segments.
+        """
+        from .shared import SharedCSR
+
+        return SharedCSR.attach(handle)
 
     # ------------------------------------------------------------------
     # Degrees and adjacency

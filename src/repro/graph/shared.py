@@ -1,0 +1,266 @@
+"""Shared-memory graph plane: one CSR copy, visible from every process.
+
+The paper's execution model keeps a single read-only Ligra CSR graph in
+shared memory while all cores run diffusions against it.  Under the
+``fork`` start method Python gets that for free (copy-on-write pages), but
+``spawn``/``forkserver`` workers start from a fresh interpreter and inherit
+nothing — historically the process backend had to warn and degrade to
+serial execution on those platforms.
+
+:class:`SharedCSR` closes that gap with ``multiprocessing.shared_memory``:
+the parent exports ``offsets``/``neighbors`` into two named segments once,
+workers attach zero-copy on *any* start method, and the parent unlinks the
+segments deterministically when the engine shuts down.
+
+Lifecycle contract
+------------------
+
+* ``SharedCSR.create(graph)`` (parent) — copies the CSR arrays into fresh
+  segments and registers an ``atexit`` guard so an abandoned handle can
+  never leak ``/dev/shm`` entries past interpreter exit.
+* ``shared.handle()`` — a small picklable :class:`SharedCSRHandle` (segment
+  names, dtypes, lengths) that travels to workers as pool-initializer args.
+* ``SharedCSR.attach(handle)`` (worker) — maps the segments and wraps them
+  in a :class:`~repro.graph.csr.CSRGraph` *without copying or re-validating*
+  (the parent validated at build time).  Attached views never unlink; they
+  only close their local mapping.
+* ``shared.unlink()`` / ``with shared: ...`` (parent) — closes the mapping
+  and removes the named segments.  Idempotent; also runs from the atexit
+  guard.
+
+POSIX keeps the backing memory alive until the last process closes its
+mapping, so the parent may unlink as soon as the pool has shut down even if
+a worker is still mid-exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .csr import CSRGraph
+
+__all__ = ["SharedCSR", "SharedCSRHandle", "SEGMENT_PREFIX"]
+
+#: every segment this module creates is named ``repro_csr_<token>_<role>``,
+#: so tests (and operators) can audit ``/dev/shm`` for leaks by prefix.
+SEGMENT_PREFIX = "repro_csr"
+
+#: SharedCSR owners that have not been unlinked yet; the atexit guard
+#: drains it so no segment survives the interpreter.
+_LIVE: dict[int, "SharedCSR"] = {}
+
+
+def _cleanup_live() -> None:  # pragma: no cover - exercised via atexit
+    for shared in list(_LIVE.values()):
+        shared.unlink()
+
+
+atexit.register(_cleanup_live)
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Picklable description of an exported graph: names + array metadata.
+
+    Deliberately tiny — this is what crosses the IPC boundary instead of
+    the graph itself.  Element counts are recorded per array because
+    segment sizes are rounded up to at least one byte (and, on some
+    platforms, to a page), so the attaching side rebuilds each view from
+    its true length rather than the segment size.
+    """
+
+    offsets_name: str
+    neighbors_name: str
+    offsets_dtype: str
+    neighbors_dtype: str
+    num_offsets: int
+    num_neighbors: int
+
+
+def _export(name: str, array: np.ndarray) -> shared_memory.SharedMemory:
+    """Copy ``array`` into a fresh named segment (size >= 1 byte)."""
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, array.nbytes)
+    )
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[:] = array
+    return segment
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without enrolling it in the resource tracker.
+
+    Workers must not register attached segments: all processes share one
+    tracker whose cache is a *set*, so N workers registering and
+    unregistering the same name race each other (KeyError spray in the
+    tracker) and a late tracker cleanup could unlink a segment the parent
+    still owns (cpython#82300).  Python 3.13 exposes ``track=False``;
+    earlier versions get the same effect by silencing ``register`` for
+    the duration of the attach, so no tracker message is ever sent.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedCSR:
+    """A CSR graph exported to (or attached from) shared-memory segments.
+
+    Exactly one process — the creator — owns the segments and may
+    ``unlink()`` them; attached instances only ``close()`` their local
+    mapping.  The object is a context manager in both roles.
+    """
+
+    def __init__(
+        self,
+        graph: "CSRGraph",
+        segments: tuple[shared_memory.SharedMemory, ...],
+        handle: SharedCSRHandle,
+        owner: bool,
+    ) -> None:
+        self.graph = graph
+        self._segments = segments
+        self._handle = handle
+        self.owner = owner
+        self._closed = False
+        self._unlinked = False
+        if owner:
+            _LIVE[id(self)] = self
+
+    # ------------------------------------------------------------------
+    # Construction: parent exports, workers attach
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, graph: "CSRGraph") -> "SharedCSR":
+        """Export ``graph``'s CSR arrays into fresh shared segments."""
+        token = secrets.token_hex(8)
+        handle = SharedCSRHandle(
+            offsets_name=f"{SEGMENT_PREFIX}_{token}_off",
+            neighbors_name=f"{SEGMENT_PREFIX}_{token}_nbr",
+            offsets_dtype=str(graph.offsets.dtype),
+            neighbors_dtype=str(graph.neighbors.dtype),
+            num_offsets=len(graph.offsets),
+            num_neighbors=len(graph.neighbors),
+        )
+        offsets_seg = _export(handle.offsets_name, graph.offsets)
+        try:
+            neighbors_seg = _export(handle.neighbors_name, graph.neighbors)
+        except BaseException:
+            offsets_seg.close()
+            offsets_seg.unlink()
+            raise
+        shared = cls(
+            cls._wrap(handle, offsets_seg, neighbors_seg),
+            (offsets_seg, neighbors_seg),
+            handle,
+            owner=True,
+        )
+        return shared
+
+    @classmethod
+    def attach(cls, handle: SharedCSRHandle) -> "SharedCSR":
+        """Map an exported graph zero-copy (worker side, any start method)."""
+        offsets_seg = _attach(handle.offsets_name)
+        try:
+            neighbors_seg = _attach(handle.neighbors_name)
+        except BaseException:
+            offsets_seg.close()
+            raise
+        return cls(
+            cls._wrap(handle, offsets_seg, neighbors_seg),
+            (offsets_seg, neighbors_seg),
+            handle,
+            owner=False,
+        )
+
+    @staticmethod
+    def _wrap(
+        handle: SharedCSRHandle,
+        offsets_seg: shared_memory.SharedMemory,
+        neighbors_seg: shared_memory.SharedMemory,
+    ) -> "CSRGraph":
+        """A CSRGraph over the segment buffers — no copy, no re-validation."""
+        from .csr import CSRGraph
+
+        offsets = np.ndarray(
+            (handle.num_offsets,), dtype=np.dtype(handle.offsets_dtype),
+            buffer=offsets_seg.buf,
+        )
+        neighbors = np.ndarray(
+            (handle.num_neighbors,), dtype=np.dtype(handle.neighbors_dtype),
+            buffer=neighbors_seg.buf,
+        )
+        # The CSR arrays are immutable by library-wide contract; enforce it
+        # here because these views alias memory other processes read.
+        offsets.flags.writeable = False
+        neighbors.flags.writeable = False
+        graph = CSRGraph.__new__(CSRGraph)
+        graph.offsets = offsets
+        graph.neighbors = neighbors
+        return graph
+
+    def handle(self) -> SharedCSRHandle:
+        return self._handle
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (keeps the named segments alive)."""
+        if self._closed:
+            return
+        self._closed = True
+        # The graph's arrays alias the segment buffers; numpy holds exported
+        # memoryviews that SharedMemory.close() would trip over, so detach
+        # them first.
+        self.graph.offsets = np.empty(0, dtype=np.dtype(self._handle.offsets_dtype))
+        self.graph.neighbors = np.empty(0, dtype=np.dtype(self._handle.neighbors_dtype))
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a live external view
+                pass
+
+    def unlink(self) -> None:
+        """Close and remove the named segments (owner only; idempotent)."""
+        self.close()
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        _LIVE.pop(id(self), None)
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        role = "owner" if self.owner else "attached"
+        return (
+            f"SharedCSR({role}, n={self._handle.num_offsets - 1}, "
+            f"segments={self._handle.offsets_name!r}/{self._handle.neighbors_name!r})"
+        )

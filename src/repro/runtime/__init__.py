@@ -10,8 +10,11 @@ from .cost_model import (
     WorkDepthTracker,
     current_tracker,
     log2ceil,
+    ppr_push_work_bound,
+    random_walk_work_bound,
     record,
     track,
+    truncated_iteration_work_bound,
 )
 from .machine import DEFAULT_CONTENTION, PAPER_MACHINE, MachineModel
 from .timer import Stopwatch, stopwatch, time_call
@@ -23,6 +26,9 @@ __all__ = [
     "log2ceil",
     "record",
     "track",
+    "ppr_push_work_bound",
+    "random_walk_work_bound",
+    "truncated_iteration_work_bound",
     "DEFAULT_CONTENTION",
     "PAPER_MACHINE",
     "MachineModel",

@@ -46,7 +46,54 @@ __all__ = [
     "record",
     "current_tracker",
     "log2ceil",
+    "ppr_push_work_bound",
+    "truncated_iteration_work_bound",
+    "random_walk_work_bound",
 ]
+
+
+# ----------------------------------------------------------------------
+# A-priori work bounds.  The tracker above measures cost *after* a run;
+# these closed forms predict it *before* one, from parameters alone —
+# the quantities the engine's cost-aware scheduler packs chunks by.
+# ----------------------------------------------------------------------
+def ppr_push_work_bound(alpha: float, eps: float) -> float:
+    """The paper's O(1/(eps*alpha)) bound on PR-Nibble push work.
+
+    Section 3: the total number of push operations (and the volume of
+    vertices touched) of approximate personalized PageRank is at most
+    ``1/(eps*alpha)`` — the locality guarantee inherited from
+    Andersen-Chung-Lang and Spielman-Teng's analysis.  Deterministic
+    heat-kernel pushes obey the analogous ``degree/eps``-style bound, so
+    the same form (with the method's effective ``alpha``) ranks them too.
+    """
+    if alpha <= 0.0 or eps <= 0.0:
+        raise ValueError("alpha and eps must be positive")
+    return 1.0 / (eps * alpha)
+
+
+def truncated_iteration_work_bound(iterations: float, eps: float) -> float:
+    """Work bound for truncation-thresholded iterative diffusions (Nibble).
+
+    Each of the ``T`` iterations keeps only entries with ``p(v) >= d(v)*eps``,
+    so the retained support has volume at most ``1/eps`` and the total work
+    is O(T/eps) (Section 3's Nibble analysis).
+    """
+    if iterations < 1 or eps <= 0.0:
+        raise ValueError("iterations must be >= 1 and eps positive")
+    return float(iterations) / eps
+
+
+def random_walk_work_bound(num_walks: float, walk_length: float) -> float:
+    """Work bound for Monte-Carlo diffusions: N walks x max length K.
+
+    rand-HK-PR simulates ``N`` independent random walks truncated at ``K``
+    steps, for O(N*K) total work (Section 3.4) — independent of eps, which
+    is why mixed batches need a method-aware estimate.
+    """
+    if num_walks < 1 or walk_length < 0:
+        raise ValueError("num_walks must be >= 1 and walk_length >= 0")
+    return float(num_walks) * max(float(walk_length), 1.0)
 
 
 def log2ceil(n: float) -> float:

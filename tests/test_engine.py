@@ -9,6 +9,7 @@ exactly what the one-at-a-time high-level API returns.
 from __future__ import annotations
 
 import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -265,10 +266,10 @@ class TestReducers:
         assert stats.jobs == 2
 
 
-class TestProcessPoolFallback:
-    """Non-fork start methods cannot share the CSR arrays zero-copy; the
-    backend must warn and run in-process instead of crashing or silently
-    copying the whole graph into every worker."""
+class TestNonForkStartMethods:
+    """Non-fork start methods fan out for real through the shared-memory
+    graph plane — no warning, no serial fallback, bit-identical outcomes —
+    and every exported segment is unlinked by engine shutdown."""
 
     JOBS = staticmethod(
         lambda seeds: [
@@ -282,11 +283,14 @@ class TestProcessPoolFallback:
             pytest.skip("spawn start method unavailable on this platform")
         return ProcessPoolBackend(start_method="spawn", workers=2)
 
-    def test_warns_and_matches_serial(self, graph, spawn_backend):
+    def test_no_warning_and_matches_serial(self, graph, spawn_backend):
+        import warnings as warnings_module
+
         jobs = self.JOBS((0, 100, 200))
         serial = BatchEngine(graph).run(jobs)
         engine = BatchEngine(graph, backend=spawn_backend)
-        with pytest.warns(RuntimeWarning, match="falling back"):
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
             outcomes = engine.run(jobs)
         assert [o.index for o in outcomes] == [0, 1, 2]
         for reference, outcome in zip(serial, outcomes):
@@ -294,29 +298,86 @@ class TestProcessPoolFallback:
             assert outcome.conductance == reference.conductance
             assert outcome.pushes == reference.pushes
 
-    def test_fallback_folds_costs_like_serial(self, graph, spawn_backend):
-        # In-process execution folds per-job costs into the caller's
-        # tracker directly; the engine must not also record an aggregate
-        # "engine" entry on top (that would double-count).
-        assert spawn_backend.folds_into_tracker
+    def test_spawn_records_pool_aggregate_cost(self, graph, spawn_backend):
+        # Real fan-out means per-job costs accrue in the *workers*: the
+        # parent tracker must see the one aggregate "engine" record (work
+        # summed, depth maxed), not the per-job edge_map records an
+        # in-process fallback would have folded in.
+        assert not spawn_backend.folds_into_tracker
         engine = BatchEngine(graph, backend=spawn_backend)
+        jobs = self.JOBS((0, 100))
         with track() as tracker:
-            with pytest.warns(RuntimeWarning):
-                engine.run(self.JOBS((0, 100)))
-        assert "edge_map" in tracker.by_category
-        assert "engine" not in tracker.by_category
+            outcomes = engine.run(jobs)
+        assert "edge_map" not in tracker.by_category
+        assert "engine" in tracker.by_category
+        assert tracker.work == pytest.approx(sum(o.work for o in outcomes))
 
-    def test_empty_batch_does_not_warn(self, graph, spawn_backend):
-        import warnings as warnings_module
+    def test_spawn_leaves_no_shared_memory_segments(self, graph, spawn_backend):
+        from repro.graph.shared import SEGMENT_PREFIX
 
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("error")
-            assert BatchEngine(graph, backend=spawn_backend).run([]) == []
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX host
+            pytest.skip("no /dev/shm to audit on this platform")
+        BatchEngine(graph, backend=spawn_backend).run(self.JOBS((0, 100)))
+        leaked = [f for f in os.listdir(shm_dir) if f.startswith(SEGMENT_PREFIX)]
+        assert leaked == []
 
-    def test_fork_backend_unaffected(self, graph):
+    def test_abandoned_stream_unlinks_segments(self, graph, spawn_backend):
+        from repro.graph.shared import SEGMENT_PREFIX
+
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX host
+            pytest.skip("no /dev/shm to audit on this platform")
+        stream = spawn_backend.stream(graph, self.JOBS((0, 100, 200)), True, True)
+        next(stream)  # segments exist while the stream is live
+        stream.close()  # abandoning the stream must still clean up
+        leaked = [f for f in os.listdir(shm_dir) if f.startswith(SEGMENT_PREFIX)]
+        assert leaked == []
+
+    def test_empty_batch(self, graph, spawn_backend):
+        assert BatchEngine(graph, backend=spawn_backend).run([]) == []
+
+    def test_forkserver_matches_serial(self, graph):
+        if "forkserver" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("forkserver start method unavailable on this platform")
+        jobs = self.JOBS((0, 100))
+        serial = BatchEngine(graph).run(jobs)
+        backend = ProcessPoolBackend(start_method="forkserver", workers=2)
+        outcomes = BatchEngine(graph, backend=backend).run(jobs)
+        for reference, outcome in zip(serial, outcomes):
+            assert np.array_equal(reference.cluster, outcome.cluster)
+            assert outcome.conductance == reference.conductance
+
+    def test_env_var_sets_default_start_method(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert ProcessPoolBackend(workers=2).start_method == "spawn"
+        monkeypatch.delenv("REPRO_START_METHOD")
+        assert ProcessPoolBackend(workers=2).start_method in (
+            multiprocessing.get_all_start_methods()
+        )
+
+    def test_fork_backend_never_folds(self, graph):
         if "fork" not in multiprocessing.get_all_start_methods():  # pragma: no cover
             pytest.skip("fork start method unavailable on this platform")
         assert not ProcessPoolBackend(start_method="fork").folds_into_tracker
+
+
+class TestSharedCodePaths:
+    """The backend refactor's de-duplication guarantees, asserted on the
+    class structure so the old copy-pasted fallback loop cannot return."""
+
+    def test_backends_share_the_inline_loop(self):
+        from repro.engine import PoolBackend
+
+        assert issubclass(SerialBackend, PoolBackend)
+        assert issubclass(ProcessPoolBackend, PoolBackend)
+        # SerialBackend *is* the base loop — no override of stream or the
+        # inline runner; ProcessPoolBackend overrides stream only and has
+        # no inline execution path of its own.
+        assert SerialBackend.stream is PoolBackend.stream
+        assert SerialBackend._run_inline is PoolBackend._run_inline
+        assert ProcessPoolBackend._run_inline is PoolBackend._run_inline
+        assert ProcessPoolBackend.stream is not PoolBackend.stream
 
 
 class TestEngineConfiguration:
@@ -336,6 +397,28 @@ class TestEngineConfiguration:
         other = planted_partition(100, 2, 6.0, 1.0, seed=1)
         with pytest.raises(ValueError, match="different graph"):
             resolve_engine(other, engine)
+
+    def test_resolve_engine_accepts_content_identical_graph(self, graph):
+        # A different object with the same CSR content (e.g. the same
+        # graph reloaded from disk) must pass the fingerprint check.
+        from repro.graph import CSRGraph
+
+        copy = CSRGraph(graph.offsets.copy(), graph.neighbors.copy())
+        assert copy is not graph
+        engine = BatchEngine(graph)
+        assert resolve_engine(copy, engine) is engine
+
+    def test_schedule_and_start_method_thread_through(self, graph):
+        engine = BatchEngine(graph, backend="process", workers=2, schedule="fifo")
+        assert engine.backend.schedule == "fifo"
+        assert BatchEngine(graph, backend="process", workers=2).backend.schedule == "cost"
+        if "spawn" in multiprocessing.get_all_start_methods():
+            built = BatchEngine(graph, backend="process", workers=2, start_method="spawn")
+            assert built.backend.start_method == "spawn"
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            ProcessPoolBackend(workers=2, schedule="random")
 
     def test_unavailable_start_method_rejected(self):
         with pytest.raises(ValueError, match="unavailable"):

@@ -1,0 +1,137 @@
+"""Tests for the shared-memory graph plane (repro.graph.shared).
+
+The contract under test: ``share()`` exports the CSR arrays into named
+segments, ``attach()`` rebuilds a content-identical read-only graph from
+the picklable handle (in this process or any other), and teardown is
+deterministic — unlink removes every segment, is idempotent, and an
+``atexit`` guard covers abandoned owners.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, SharedCSR, SharedCSRHandle, barbell_graph, rand_local
+from repro.graph.shared import _LIVE, SEGMENT_PREFIX
+
+
+def shm_entries():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX host
+        pytest.skip("no /dev/shm to audit on this platform")
+    return [f for f in os.listdir("/dev/shm") if f.startswith(SEGMENT_PREFIX)]
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_graph_exactly(self):
+        graph = rand_local(400, seed=7)
+        with graph.share() as shared:
+            attached = CSRGraph.attach(shared.handle())
+            try:
+                assert np.array_equal(attached.graph.offsets, graph.offsets)
+                assert np.array_equal(attached.graph.neighbors, graph.neighbors)
+                assert attached.graph.fingerprint() == graph.fingerprint()
+                assert attached.graph.num_vertices == graph.num_vertices
+                assert attached.graph.num_edges == graph.num_edges
+            finally:
+                attached.close()
+
+    def test_attached_graph_supports_bulk_operations(self):
+        graph = barbell_graph(8)
+        with graph.share() as shared:
+            with CSRGraph.attach(shared.handle()) as attached:
+                view = attached.graph
+                assert np.array_equal(view.degrees(), graph.degrees())
+                sources, targets = view.gather_edges(np.arange(4, dtype=np.int64))
+                ref_sources, ref_targets = graph.gather_edges(np.arange(4, dtype=np.int64))
+                assert np.array_equal(sources, ref_sources)
+                assert np.array_equal(targets, ref_targets)
+
+    def test_attached_arrays_are_read_only(self):
+        graph = barbell_graph(4)
+        with graph.share() as shared:
+            with CSRGraph.attach(shared.handle()) as attached:
+                with pytest.raises(ValueError):
+                    attached.graph.neighbors[0] = 99
+                with pytest.raises(ValueError):
+                    attached.graph.offsets[0] = 1
+
+    def test_handle_is_small_and_picklable(self):
+        graph = rand_local(300, seed=1)
+        with graph.share() as shared:
+            payload = pickle.dumps(shared.handle())
+            # The whole point: the handle crossing the IPC boundary is a
+            # few hundred bytes, not the graph.
+            assert len(payload) < 1024
+            handle = pickle.loads(payload)
+            assert isinstance(handle, SharedCSRHandle)
+            with CSRGraph.attach(handle) as attached:
+                assert attached.graph.fingerprint() == graph.fingerprint()
+
+    def test_edgeless_graph_shares(self):
+        graph = CSRGraph(np.asarray([0, 0, 0]), np.asarray([], dtype=np.int64))
+        with graph.share() as shared:
+            with CSRGraph.attach(shared.handle()) as attached:
+                assert attached.graph.num_vertices == 2
+                assert attached.graph.num_edges == 0
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self):
+        with rand_local(200, seed=3).share() as shared:
+            assert len(shm_entries()) == 2
+            assert shared.owner
+        assert shm_entries() == []
+
+    def test_unlink_is_idempotent(self):
+        shared = rand_local(200, seed=3).share()
+        shared.unlink()
+        shared.unlink()
+        assert shm_entries() == []
+
+    def test_close_then_unlink_still_removes_segments(self):
+        shared = rand_local(200, seed=3).share()
+        shared.close()
+        assert len(shm_entries()) == 2  # close drops the mapping only
+        shared.unlink()
+        assert shm_entries() == []
+
+    def test_attached_exit_never_unlinks(self):
+        graph = barbell_graph(4)
+        with graph.share() as shared:
+            with CSRGraph.attach(shared.handle()):
+                pass
+            # the attached view closed; the owner's segments must survive
+            assert len(shm_entries()) == 2
+            with CSRGraph.attach(shared.handle()) as again:
+                assert again.graph.num_vertices == graph.num_vertices
+        assert shm_entries() == []
+
+    def test_atexit_registry_tracks_owners_until_unlink(self):
+        shared = rand_local(100, seed=2).share()
+        assert id(shared) in _LIVE  # the guard would unlink it at exit
+        shared.unlink()
+        assert id(shared) not in _LIVE
+
+    def test_attached_instances_never_enter_the_registry(self):
+        with rand_local(100, seed=2).share() as shared:
+            attached = CSRGraph.attach(shared.handle())
+            assert id(attached) not in _LIVE
+            attached.close()
+
+    def test_share_helper_returns_owner(self):
+        shared = barbell_graph(4).share()
+        assert isinstance(shared, SharedCSR)
+        assert shared.owner
+        shared.unlink()
+
+    def test_close_detaches_array_views(self):
+        shared = rand_local(100, seed=4).share()
+        attached = CSRGraph.attach(shared.handle())
+        attached.close()
+        # After close the view graph must not keep the buffer pinned.
+        assert len(attached.graph.offsets) == 0
+        shared.unlink()
