@@ -35,9 +35,13 @@ Subpackages
     Parallel primitives: scan, filter, sorting, hash table, sparse sets.
 ``repro.runtime``
     Work-depth instrumentation and the simulated multicore machine.
+``repro.serve``
+    Async serving plane: a :class:`~repro.serve.DiffusionService`
+    micro-batching concurrent client queries onto one long-lived engine
+    pool, interactive jobs drained ahead of bulk backlogs.
 """
 
-from . import bench, cache, core, engine, graph, ligra, prims, runtime
+from . import bench, cache, core, engine, graph, ligra, prims, runtime, serve
 from .cache import CacheStats, CachingBackend, ResultCache
 from .core import (
     ALGORITHMS,
@@ -48,6 +52,7 @@ from .core import (
     NibbleParams,
     PRNibbleParams,
     RandHKPRParams,
+    async_local_cluster,
     cluster_many,
     cluster_stats,
     conductance,
@@ -63,6 +68,7 @@ from .core import (
 from .engine import BatchEngine, DiffusionJob, job_grid
 from .graph import CSRGraph, load_proxy
 from .runtime import PAPER_MACHINE, MachineModel, track
+from .serve import DiffusionService
 
 __version__ = "1.0.0"
 
@@ -78,11 +84,14 @@ __all__ = [
     "ligra",
     "prims",
     "runtime",
+    "serve",
     "ALGORITHMS",
     "BatchEngine",
+    "DiffusionService",
     "ClusterResult",
     "DiffusionJob",
     "job_grid",
+    "async_local_cluster",
     "cluster_many",
     "EvolvingSetParams",
     "HKPRParams",

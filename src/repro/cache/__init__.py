@@ -24,7 +24,7 @@ workloads hit a store instead of re-diffusing:
 [False, True, True, True]
 """
 
-from .backend import CachingBackend
+from .backend import CachingBackend, CachingSession
 from .keys import CacheKey, cache_key_for, canonical_params
 from .serialize import load_outcome, outcome_nbytes, save_outcome
 from .store import CacheStats, DiskStore, LRUStore, ResultCache, resolve_cache
@@ -34,6 +34,7 @@ __all__ = [
     "cache_key_for",
     "canonical_params",
     "CachingBackend",
+    "CachingSession",
     "CacheStats",
     "DiskStore",
     "LRUStore",

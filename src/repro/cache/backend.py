@@ -25,7 +25,7 @@ work-depth cost, because a hit performs no diffusion work.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from .keys import CacheKey, cache_key_for
 from .store import ResultCache
@@ -35,10 +35,120 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.jobs import DiffusionJob
     from ..graph.csr import CSRGraph
 
-__all__ = ["CachingBackend"]
+__all__ = ["CachingBackend", "CachingSession"]
 
 _MISS = object()
 _COALESCED = object()
+
+
+def _cached_batch(
+    cache: ResultCache,
+    fingerprint: str,
+    jobs: Sequence["DiffusionJob"],
+    parallel: bool,
+    include_vectors: bool,
+    dispatch: Callable[[list["DiffusionJob"]], Iterable["JobOutcome"]],
+) -> Iterator["JobOutcome"]:
+    """Serve one batch: replay hits, coalesce duplicates, dispatch misses.
+
+    The single implementation behind both :meth:`CachingBackend.stream`
+    (one-shot) and :meth:`CachingSession.run` (persistent inner session):
+    ``dispatch`` receives the de-duplicated miss list and returns their
+    outcomes in miss order.
+    """
+    keys = [cache_key_for(fingerprint, job, parallel, include_vectors) for job in jobs]
+
+    # Plan the batch up front so the misses can be dispatched to the
+    # wrapped backend as one sub-batch (one pool round-trip, full
+    # chunking) while hits and coalesced duplicates replay locally.
+    plan: list[object] = []
+    first_miss: dict[CacheKey, int] = {}
+    pending_uses: dict[CacheKey, int] = {}
+    miss_jobs: list["DiffusionJob"] = []
+    for index, key in enumerate(keys):
+        hit = cache.get(key)
+        if hit is not None:
+            plan.append(hit)
+        elif key in first_miss:
+            cache.count_coalesced()
+            pending_uses[key] += 1
+            plan.append(_COALESCED)
+        else:
+            first_miss[key] = index
+            pending_uses[key] = 0
+            miss_jobs.append(jobs[index])
+            plan.append(_MISS)
+
+    miss_stream = iter(dispatch(miss_jobs) if miss_jobs else ())
+    # Outcomes of misses that identical later jobs are waiting on are
+    # pinned here until their last duplicate is served, so coalescing
+    # survives even an eviction racing the batch.
+    pinned: dict[CacheKey, "JobOutcome"] = {}
+    for index, (job, key) in enumerate(zip(jobs, keys)):
+        step = plan[index]
+        if step is _MISS:
+            outcome = replace(next(miss_stream), index=index, job=job, cached=False)
+            cache.put(key, outcome)
+            if pending_uses[key] > 0:
+                pinned[key] = outcome
+        elif step is _COALESCED:
+            outcome = replace(pinned[key], index=index, job=job, cached=True)
+            pending_uses[key] -= 1
+            if pending_uses[key] == 0:
+                del pinned[key]
+        else:  # a cache hit, replayed with the requesting job attached
+            outcome = replace(step, index=index, job=job, cached=True)
+        yield outcome
+
+
+class CachingSession:
+    """Session protocol over a cached backend: hits replay, misses reuse
+    one inner session (and therefore one pool + one graph export) across
+    consecutive batches.  This is what lets the serving plane answer hot
+    interactive queries without touching the pool at all."""
+
+    def __init__(
+        self,
+        backend: "CachingBackend",
+        graph: "CSRGraph",
+        parallel: bool,
+        include_vectors: bool,
+    ) -> None:
+        self.cache = backend.cache
+        self.parallel = parallel
+        self.include_vectors = include_vectors
+        self._fingerprint = graph.fingerprint()
+        self.inner = backend.inner.open_session(graph, parallel, include_vectors)
+
+    @property
+    def batches(self) -> int:
+        return self.inner.batches
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def run(self, jobs: Iterable["DiffusionJob"]) -> Iterator["JobOutcome"]:
+        """Stream one batch in job order; only misses reach the inner session."""
+        if self.inner.closed:
+            raise RuntimeError("session is closed")
+        return _cached_batch(
+            self.cache,
+            self._fingerprint,
+            list(jobs),
+            self.parallel,
+            self.include_vectors,
+            self.inner.run,
+        )
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "CachingSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class CachingBackend:
@@ -56,6 +166,15 @@ class CachingBackend:
     def folds_into_tracker(self) -> bool:
         return self.inner.folds_into_tracker
 
+    def open_session(
+        self,
+        graph: "CSRGraph",
+        parallel: bool = True,
+        include_vectors: bool = True,
+    ) -> CachingSession:
+        """A session whose misses share one inner (pool) session."""
+        return CachingSession(self, graph, parallel, include_vectors)
+
     def stream(
         self,
         graph: "CSRGraph",
@@ -66,51 +185,13 @@ class CachingBackend:
         jobs = list(jobs)
         if not jobs:
             return
-        fingerprint = graph.fingerprint()
-        keys = [cache_key_for(fingerprint, job, parallel, include_vectors) for job in jobs]
-
-        # Plan the batch up front so the misses can be dispatched to the
-        # wrapped backend as one sub-batch (one pool start-up, full
-        # chunking) while hits and coalesced duplicates replay locally.
-        plan: list[object] = []
-        first_miss: dict[CacheKey, int] = {}
-        pending_uses: dict[CacheKey, int] = {}
-        miss_jobs: list["DiffusionJob"] = []
-        for index, key in enumerate(keys):
-            hit = self.cache.get(key)
-            if hit is not None:
-                plan.append(hit)
-            elif key in first_miss:
-                self.cache.count_coalesced()
-                pending_uses[key] += 1
-                plan.append(_COALESCED)
-            else:
-                first_miss[key] = index
-                pending_uses[key] = 0
-                miss_jobs.append(jobs[index])
-                plan.append(_MISS)
-
-        miss_stream = iter(
-            self.inner.stream(graph, miss_jobs, parallel, include_vectors)
-            if miss_jobs
-            else ()
+        yield from _cached_batch(
+            self.cache,
+            graph.fingerprint(),
+            jobs,
+            parallel,
+            include_vectors,
+            lambda miss_jobs: self.inner.stream(
+                graph, miss_jobs, parallel, include_vectors
+            ),
         )
-        # Outcomes of misses that identical later jobs are waiting on are
-        # pinned here until their last duplicate is served, so coalescing
-        # survives even an eviction racing the batch.
-        pinned: dict[CacheKey, "JobOutcome"] = {}
-        for index, (job, key) in enumerate(zip(jobs, keys)):
-            step = plan[index]
-            if step is _MISS:
-                outcome = replace(next(miss_stream), index=index, job=job, cached=False)
-                self.cache.put(key, outcome)
-                if pending_uses[key] > 0:
-                    pinned[key] = outcome
-            elif step is _COALESCED:
-                outcome = replace(pinned[key], index=index, job=job, cached=True)
-                pending_uses[key] -= 1
-                if pending_uses[key] == 0:
-                    del pinned[key]
-            else:  # a cache hit, replayed with the requesting job attached
-                outcome = replace(step, index=index, job=job, cached=True)
-            yield outcome

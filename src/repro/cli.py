@@ -19,6 +19,12 @@ Commands
 ``cache``
     Inspect (``stats``) or empty (``clear``) an on-disk result cache
     directory, as populated by ``ncp``/``batch`` with ``--cache-dir``.
+``serve``
+    Run the async serving plane as a stdin/stdout JSON loop: one request
+    object per input line (``{"seeds": 5, "method": "pr-nibble",
+    "params": {"eps": 1e-5}}``), one result object per output line, in
+    request order.  Requests micro-batch onto one long-lived worker pool;
+    ``"priority": "bulk"`` queues behind interactive requests.
 
 ``ncp`` and ``batch`` accept ``--cache`` (memoise job outcomes in memory
 for the run — overlapping grids coalesce) and ``--cache-dir DIR``
@@ -258,6 +264,107 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .engine import DiffusionJob
+    from .serve import DiffusionService
+
+    graph = _load_graph(args.graph)
+    cache = _cache_from_args(args)
+    workers = max(1, args.workers)
+    if workers == 1 and args.start_method is not None:
+        raise SystemExit(
+            "error: --start-method configures the worker pool; pass --workers > 1"
+        )
+    service = DiffusionService(
+        graph,
+        workers=workers if workers > 1 else None,
+        include_vectors=False,
+        cache=cache,
+        start_method=args.start_method,
+        schedule=args.schedule,
+        max_batch=args.max_batch,
+        max_linger=args.max_linger / 1000.0,
+        max_batch_cost=args.max_batch_cost,
+    )
+    stream_in = sys.stdin
+    stream_out = sys.stdout
+
+    def _outcome_payload(request_id: object, outcome) -> dict:
+        return {
+            "id": request_id,
+            "seeds": list(outcome.job.seeds),
+            "method": outcome.job.method,
+            "size": outcome.size,
+            "conductance": outcome.conductance if outcome.sweep is not None else None,
+            "support": outcome.support_size,
+            "pushes": outcome.pushes,
+            "seconds": outcome.wall_seconds,
+            "cached": outcome.cached,
+        }
+
+    async def _loop() -> int:
+        loop = asyncio.get_running_loop()
+        results: asyncio.Queue = asyncio.Queue()
+
+        async def printer() -> None:
+            # Results print in request order — each awaited future may
+            # have resolved long ago while later requests streamed in.
+            while True:
+                item = await results.get()
+                if item is None:
+                    return
+                request_id, future = item
+                try:
+                    payload = _outcome_payload(request_id, await future)
+                except Exception as error:
+                    payload = {"id": request_id, "error": str(error)}
+                print(json.dumps(payload), file=stream_out, flush=True)
+
+        async with service:
+            printer_task = asyncio.create_task(printer())
+            request_id = 0
+            while True:
+                line = await loop.run_in_executor(None, stream_in.readline)
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                request_id += 1
+                identifier: object = request_id
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    identifier = request.get("id", request_id)
+                    job = DiffusionJob.make(
+                        request["seeds"],
+                        method=request.get("method", args.method),
+                        params=request.get("params", {}),
+                        rng=int(request.get("rng", 0)),
+                    )
+                    future = service.submit(
+                        job, priority=request.get("priority", "interactive")
+                    )
+                except Exception as error:
+                    # A malformed line answers with an error object; the
+                    # service (and every other pending request) keeps going.
+                    future = loop.create_future()
+                    future.set_exception(ValueError(f"bad request: {error}"))
+                await results.put((identifier, future))
+            await results.put(None)
+            await printer_task
+        print(f"serve: {service.stats.describe()}", file=sys.stderr)
+        if cache is not None:
+            print(f"cache: {cache.stats.describe()}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_loop())
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     try:
         store = DiskStore(args.cache_dir, create=False)
@@ -368,6 +475,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_flags(batch)
     _add_cache_flags(batch)
     batch.set_defaults(run=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve queries over stdin/stdout JSON lines through the async "
+        "serving plane (micro-batched onto one long-lived pool)",
+    )
+    serve.add_argument("graph", help="proxy name or graph file")
+    serve.add_argument(
+        "--method",
+        choices=sorted(ALGORITHMS),
+        default="pr-nibble",
+        help="default method for requests that do not name one",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, help="process-pool workers (1 = in-process)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="most jobs per micro-batch (smaller = lower interactive latency)",
+    )
+    serve.add_argument(
+        "--max-linger",
+        type=float,
+        default=2.0,
+        help="milliseconds a request may wait for batch-mates (default 2)",
+    )
+    serve.add_argument(
+        "--max-batch-cost",
+        type=float,
+        default=None,
+        metavar="COST",
+        help="cap a batch's summed scheduler cost estimate, bounding how "
+        "long an interactive request can wait behind bulk work",
+    )
+    _add_pool_flags(serve)
+    _add_cache_flags(serve)
+    serve.set_defaults(run=_cmd_serve)
 
     cache = commands.add_parser(
         "cache", help="inspect or clear an on-disk result cache directory"

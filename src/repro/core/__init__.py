@@ -1,6 +1,12 @@
 """The paper's contribution: parallel local clustering algorithms + sweep cut."""
 
-from .api import ALGORITHMS, LocalClusterer, cluster_many, local_cluster
+from .api import (
+    ALGORITHMS,
+    LocalClusterer,
+    async_local_cluster,
+    cluster_many,
+    local_cluster,
+)
 from .evolving_sets import EvolvingSetParams, EvolvingSetResult, evolving_set_process
 from .hk_pr import HKPRParams, hk_pr, hk_pr_parallel, hk_pr_sequential, psi_coefficients
 from .ncp import NCPResult, log_binned, ncp_profile
@@ -25,6 +31,7 @@ __all__ = [
     "LocalClusterer",
     "cluster_many",
     "local_cluster",
+    "async_local_cluster",
     "EvolvingSetParams",
     "EvolvingSetResult",
     "evolving_set_process",

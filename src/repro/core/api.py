@@ -13,12 +13,17 @@ sweep cut rounding procedure to generate a cluster."*
 
 from __future__ import annotations
 
+import asyncio
+import functools
 from dataclasses import asdict
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve import DiffusionService
 from .hk_pr import HKPRParams, hk_pr
 from .nibble import NibbleParams, nibble
 from .pr_nibble import PRNibbleParams, pr_nibble
@@ -26,7 +31,13 @@ from .rand_hk_pr import RandHKPRParams, rand_hk_pr
 from .result import ClusterResult, DiffusionResult
 from .sweep import sweep_cut
 
-__all__ = ["ALGORITHMS", "local_cluster", "cluster_many", "LocalClusterer"]
+__all__ = [
+    "ALGORITHMS",
+    "local_cluster",
+    "async_local_cluster",
+    "cluster_many",
+    "LocalClusterer",
+]
 
 #: method name -> (parameter dataclass, diffusion runner, takes_rng)
 ALGORITHMS: dict[str, tuple[type, Any, bool]] = {
@@ -83,6 +94,62 @@ def local_cluster(
         params=asdict(params),
         diffusion=diffusion,
         sweep=sweep,
+    )
+
+
+async def async_local_cluster(
+    graph: CSRGraph,
+    seeds: int | np.ndarray,
+    method: str = "pr-nibble",
+    parallel: bool = True,
+    rng: np.random.Generator | int = 0,
+    service: "DiffusionService | None" = None,
+    priority: str = "interactive",
+    **param_overrides: Any,
+) -> ClusterResult:
+    """:func:`local_cluster` for asyncio callers — never blocks the loop.
+
+    With ``service=None`` the query runs in the event loop's default
+    executor thread (same arguments, same result as :func:`local_cluster`).
+    With a :class:`repro.serve.DiffusionService`, the query is submitted to
+    the shared service instead — it micro-batches with concurrent clients,
+    rides the service's long-lived pool, and (``priority="interactive"``,
+    the default) drains ahead of any bulk backlog.  The service must serve
+    a graph whose CSR *content* matches ``graph``.
+    """
+    if service is None:
+        loop = asyncio.get_running_loop()
+        call = functools.partial(
+            local_cluster,
+            graph,
+            seeds,
+            method=method,
+            parallel=parallel,
+            rng=rng,
+            **param_overrides,
+        )
+        return await loop.run_in_executor(None, call)
+    served = service.engine.graph
+    if served is not graph and served.fingerprint() != graph.fingerprint():
+        raise ValueError("service was built for a different graph")
+    if parallel != service.engine.parallel:
+        raise ValueError(
+            f"service runs jobs with parallel={service.engine.parallel}; "
+            "build the service with the implementation you need instead of "
+            "overriding it per query"
+        )
+    if isinstance(rng, np.random.Generator):
+        if method in ALGORITHMS and ALGORITHMS[method][2]:
+            # A generator's state cannot ride a picklable job, and drawing
+            # a sub-seed here would break the bit-identical-to-local_cluster
+            # contract (and mutate the caller's generator).
+            raise ValueError(
+                f"{method} submitted through a service needs an integer rng "
+                "seed; np.random.Generator is only supported without a service"
+            )
+        rng = 0  # deterministic methods ignore it
+    return await service.cluster(
+        seeds, method=method, rng=int(rng), priority=priority, **param_overrides
     )
 
 

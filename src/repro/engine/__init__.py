@@ -29,8 +29,10 @@ with varying alpha and eps.  This subsystem mechanises that outer loop:
 
 from .executor import (
     BatchEngine,
+    ExecutionSession,
     JobOutcome,
     PoolBackend,
+    PoolSession,
     ProcessPoolBackend,
     SerialBackend,
     resolve_engine,
@@ -49,8 +51,10 @@ from .reducers import (
 
 __all__ = [
     "BatchEngine",
+    "ExecutionSession",
     "JobOutcome",
     "PoolBackend",
+    "PoolSession",
     "ProcessPoolBackend",
     "SerialBackend",
     "resolve_engine",

@@ -27,9 +27,22 @@ The execution layer is organised in three planes:
   reducer sees a deterministic stream at any worker count, under any
   start method, with either schedule.
 
+Pool lifecycle is separated from batch streaming: every backend can
+``open_session()`` an :class:`ExecutionSession` whose ``run(jobs)`` may be
+called for *consecutive batches* against one prepared execution
+environment.  For the process backend that environment is a
+:class:`PoolSession` — one long-lived worker pool plus one shared-memory
+graph export reused across every batch, which is what lets the serving
+plane (:mod:`repro.serve`) multiplex many clients onto one pool instead of
+paying pool start-up per call.  ``stream()`` remains the one-shot
+convenience: it opens a session, runs the single batch, and closes the
+session deterministically — including when the caller abandons the
+iterator via ``close()``.
+
 A third backend, :class:`repro.cache.CachingBackend`, wraps either of the
 above so that only cache misses are dispatched; construct engines with
-``cache=`` to enable it.
+``cache=`` to enable it.  It participates in the session protocol too
+(its sessions replay hits and send misses to the inner session).
 
 Workers return compact, picklable :class:`JobOutcome` records (sweep
 profile + counters + optionally the diffusion vector as two arrays) rather
@@ -64,6 +77,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "JobOutcome",
     "run_job",
+    "ExecutionSession",
+    "PoolSession",
     "PoolBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -259,20 +274,153 @@ def _worker_run_chunk(chunk: Sequence[tuple[int, DiffusionJob]]) -> list[JobOutc
     ]
 
 
+class ExecutionSession:
+    """A prepared execution environment that serves consecutive batches.
+
+    Sessions split a backend's *lifecycle* (expensive, once: start a pool,
+    export the graph) from *batch streaming* (cheap, many times): after
+    ``backend.open_session(graph, ...)``, every ``run(jobs)`` call streams
+    one batch of outcomes in job order against the same prepared
+    environment.  The base implementation has nothing to prepare — it is
+    the in-process loop, so :class:`SerialBackend` sessions are just that
+    loop with a close guard.  :class:`PoolSession` overrides ``_run`` to
+    dispatch through a persistent worker pool.
+
+    Batches are strictly sequential: drain (or close) one ``run`` iterator
+    before starting the next.  Sessions are context managers; ``close()``
+    is idempotent.
+    """
+
+    def __init__(
+        self,
+        backend: "PoolBackend",
+        graph: CSRGraph,
+        parallel: bool,
+        include_vectors: bool,
+    ) -> None:
+        self.backend = backend
+        self.graph = graph
+        self.parallel = parallel
+        self.include_vectors = include_vectors
+        self.batches = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def run(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
+        """Stream one batch of outcomes, in job order (lazy)."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        jobs = list(jobs)
+        self.batches += 1
+        return self._run(jobs)
+
+    def _run(self, jobs: Sequence[DiffusionJob]) -> Iterator[JobOutcome]:
+        return self.backend._run_inline(
+            self.graph, jobs, self.parallel, self.include_vectors
+        )
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PoolSession(ExecutionSession):
+    """A long-lived worker pool bound to one shared graph export.
+
+    Created by :meth:`ProcessPoolBackend.open_session`: the graph crosses
+    the process boundary exactly once (copy-on-write pages under ``fork``,
+    one :class:`~repro.graph.shared.SharedCSR` export under
+    ``spawn``/``forkserver``) and every subsequent ``run(jobs)`` reuses
+    both the pool and the export — no per-batch pool start-up, no
+    re-export.  ``close()`` terminates and joins the pool, then unlinks
+    the shared segments, deterministically.
+    """
+
+    def __init__(
+        self,
+        backend: "ProcessPoolBackend",
+        graph: CSRGraph,
+        parallel: bool,
+        include_vectors: bool,
+    ) -> None:
+        super().__init__(backend, graph, parallel, include_vectors)
+        payload, self.shared = backend._graph_payload(graph)
+        context = multiprocessing.get_context(backend.start_method)
+        try:
+            self._pool = context.Pool(
+                processes=backend.workers,
+                initializer=_worker_init,
+                initargs=(payload, parallel, include_vectors),
+            )
+        except BaseException:
+            if self.shared is not None:
+                self.shared.unlink()
+            raise
+
+    def _run(self, jobs: Sequence[DiffusionJob]) -> Iterator[JobOutcome]:
+        backend: "ProcessPoolBackend" = self.backend  # type: ignore[assignment]
+        chunks = plan_chunks(
+            jobs, backend.workers, schedule=backend.schedule, chunk_size=backend.chunk_size
+        )
+        # Chunks complete in arbitrary order; re-emit outcomes in job
+        # order so the deterministic stream contract holds.
+        pending: dict[int, JobOutcome] = {}
+        next_index = 0
+        for outcomes in self._pool.imap_unordered(_worker_run_chunk, chunks):
+            for outcome in outcomes:
+                pending[outcome.index] = outcome
+            while next_index in pending:
+                yield pending.pop(next_index)
+                next_index += 1
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the graph export (idempotent).
+
+        ``terminate()`` + ``join()`` rather than ``close()`` + ``join()``:
+        an abandoned mid-batch iterator may have chunks still queued, and
+        a deterministic shutdown must not wait for them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+        if self.shared is not None:
+            self.shared.unlink()
+
+
 class PoolBackend:
     """Base of the execution backends: the shared in-process job loop.
 
-    Subclasses override :meth:`stream`; the base implementation — one job
-    after another in the calling process, outcomes in job order — is both
-    :class:`SerialBackend`'s whole behaviour and the single place any
-    in-process execution lives (the process backend used to duplicate this
-    loop as its non-fork fallback; that path no longer exists).
+    Subclasses override :meth:`stream` and :meth:`open_session`; the base
+    implementation — one job after another in the calling process,
+    outcomes in job order — is both :class:`SerialBackend`'s whole
+    behaviour and the single place any in-process execution lives (the
+    process backend used to duplicate this loop as its non-fork fallback;
+    that path no longer exists).
     """
 
     #: per-job costs reach the caller's tracker via nested track() when
     #: jobs run in-process; pool subclasses record an aggregate instead.
     folds_into_tracker = True
     workers = 1
+
+    def open_session(
+        self,
+        graph: CSRGraph,
+        parallel: bool = True,
+        include_vectors: bool = True,
+    ) -> ExecutionSession:
+        """A session serving consecutive batches (see :class:`ExecutionSession`)."""
+        return ExecutionSession(self, graph, parallel, include_vectors)
 
     def stream(
         self,
@@ -377,6 +525,15 @@ class ProcessPoolBackend(PoolBackend):
         shared = graph.share()
         return ("shared", shared.handle()), shared
 
+    def open_session(
+        self,
+        graph: CSRGraph,
+        parallel: bool = True,
+        include_vectors: bool = True,
+    ) -> PoolSession:
+        """Start the pool and export the graph once; see :class:`PoolSession`."""
+        return PoolSession(self, graph, parallel, include_vectors)
+
     def stream(
         self,
         graph: CSRGraph,
@@ -387,30 +544,15 @@ class ProcessPoolBackend(PoolBackend):
         jobs = list(jobs)
         if not jobs:
             return
-        chunks = plan_chunks(
-            jobs, self.workers, schedule=self.schedule, chunk_size=self.chunk_size
-        )
-        payload, shared = self._graph_payload(graph)
-        context = multiprocessing.get_context(self.start_method)
+        # One-shot use of the session protocol.  The try/finally makes
+        # teardown deterministic even for an abandoned iterator: closing
+        # the generator raises GeneratorExit at the yield, and the session
+        # close terminates + joins the pool and unlinks the graph export.
+        session = self.open_session(graph, parallel, include_vectors)
         try:
-            with context.Pool(
-                processes=self.workers,
-                initializer=_worker_init,
-                initargs=(payload, parallel, include_vectors),
-            ) as pool:
-                # Chunks complete in arbitrary order; re-emit outcomes in
-                # job order so the deterministic stream contract holds.
-                pending: dict[int, JobOutcome] = {}
-                next_index = 0
-                for outcomes in pool.imap_unordered(_worker_run_chunk, chunks):
-                    for outcome in outcomes:
-                        pending[outcome.index] = outcome
-                    while next_index in pending:
-                        yield pending.pop(next_index)
-                        next_index += 1
+            yield from session.run(jobs)
         finally:
-            if shared is not None:
-                shared.unlink()
+            session.close()
 
 
 class BatchEngine:
@@ -423,9 +565,13 @@ class BatchEngine:
     backend:
         ``"serial"``, ``"process"``, a backend instance, or ``None`` to
         pick ``"process"`` when ``workers`` asks for more than one worker
-        and ``"serial"`` otherwise.
+        and ``"serial"`` otherwise.  Passing a backend *instance* together
+        with ``workers``, ``start_method`` or ``schedule`` raises
+        ``ValueError`` — those knobs configure a backend built by name and
+        would otherwise be silently ignored.
     workers:
-        Worker count for the process backend (default: all cores).
+        Worker count for the process backend (default: all cores).  Only
+        consulted when the backend is built by name.
     parallel:
         Use the intra-query parallel implementations inside each job
         (``False`` selects the sequential references).
@@ -486,6 +632,21 @@ class BatchEngine:
                 schedule=schedule if schedule is not None else "cost",
             )
         elif isinstance(backend, (PoolBackend, CachingBackend)):
+            conflicts = [
+                name
+                for name, value in (
+                    ("workers", workers),
+                    ("start_method", start_method),
+                    ("schedule", schedule),
+                )
+                if value is not None
+            ]
+            if conflicts:
+                raise ValueError(
+                    f"backend is already constructed; {', '.join(conflicts)} "
+                    "would be silently ignored — configure them on the "
+                    "backend instance (or pass the backend by name)"
+                )
             self.backend = backend
         else:
             raise ValueError(
@@ -504,6 +665,19 @@ class BatchEngine:
     def cache(self) -> "ResultCache | None":
         """The engine's result cache, or ``None`` when caching is off."""
         return getattr(self.backend, "cache", None)
+
+    def open_session(self) -> ExecutionSession:
+        """A session serving *consecutive batches* on one prepared backend.
+
+        For the process backend this starts the pool and exports the graph
+        exactly once; every ``session.run(jobs)`` after that reuses both.
+        This is the primitive the serving plane
+        (:class:`repro.serve.DiffusionService`) multiplexes clients onto.
+        Close the session (it is a context manager) to tear the pool down.
+        """
+        return self.backend.open_session(
+            self.graph, self.parallel, self.include_vectors
+        )
 
     def map(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
         """Stream outcomes in job order (lazy; see :meth:`run` to reduce)."""
@@ -560,19 +734,36 @@ def resolve_engine(
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
     ``engine`` may be a ready :class:`BatchEngine` (returned as-is; it
-    keeps its own backend, scheduling and cache configuration), a backend
-    name, or ``None`` to infer the backend from ``workers`` exactly like
-    the :class:`BatchEngine` constructor does.  A ready engine must target
-    a graph whose *content* matches ``graph``: the fast path accepts the
-    identical object, otherwise the CSR fingerprints are compared, so an
-    engine built for a content-identical copy (say, the same graph
-    reloaded from disk) is accepted rather than rejected on object
-    identity.  ``cache``, ``start_method`` and ``schedule`` follow the
-    constructor's spec.
+    keeps its own backend, scheduling and cache configuration — combining
+    it with ``workers``, ``cache``, ``start_method`` or ``schedule``
+    raises ``ValueError``, since those knobs would be silently ignored),
+    a backend name, or ``None`` to infer the backend from ``workers``
+    exactly like the :class:`BatchEngine` constructor does.  A ready
+    engine must target a graph whose *content* matches ``graph``: the
+    fast path accepts the identical object, otherwise the CSR
+    fingerprints are compared, so an engine built for a content-identical
+    copy (say, the same graph reloaded from disk) is accepted rather than
+    rejected on object identity.  ``cache``, ``start_method`` and
+    ``schedule`` follow the constructor's spec.
     """
     if isinstance(engine, BatchEngine):
         if engine.graph is not graph and engine.graph.fingerprint() != graph.fingerprint():
             raise ValueError("engine was built for a different graph")
+        ignored = [
+            name
+            for name, value in (
+                ("workers", workers),
+                ("cache", cache),
+                ("start_method", start_method),
+                ("schedule", schedule),
+            )
+            if value is not None and value is not False
+        ]
+        if ignored:
+            raise ValueError(
+                f"engine is already constructed; {', '.join(ignored)} would "
+                "be silently ignored — configure them on the engine instead"
+            )
         return engine
     return BatchEngine(
         graph,

@@ -111,10 +111,21 @@ class BestClusterReducer(Reducer):
 
 @dataclass
 class BatchStats:
-    """Aggregate counters of one batch run (the throughput report)."""
+    """Aggregate counters of one batch run (the throughput report).
+
+    The work counters (``total_pushes``, ``total_touched_edges``,
+    ``total_work``, ``max_depth``, ``job_seconds``) describe diffusion
+    work performed *in this run*: outcomes replayed from the result cache
+    are tallied in ``cache_hits`` but excluded from the work counters,
+    because a replay carries the counters of the **original** execution
+    and performed no diffusion here — the same exclusion rule
+    :meth:`repro.engine.BatchEngine.run` applies to the recorded
+    work-depth cost.
+    """
 
     jobs: int = 0
     completed: int = 0
+    cache_hits: int = 0
     total_pushes: int = 0
     total_touched_edges: int = 0
     total_work: float = 0.0
@@ -139,13 +150,18 @@ class StatsReducer(Reducer):
         stats.jobs += 1
         if outcome.support_size > 0:
             stats.completed += 1
+        method = outcome.job.method
+        stats.by_method[method] = stats.by_method.get(method, 0) + 1
+        if outcome.cached:
+            # A cache replay echoes the original run's counters; folding
+            # them in would inflate this run's work totals.
+            stats.cache_hits += 1
+            return
         stats.total_pushes += outcome.pushes
         stats.total_touched_edges += outcome.touched_edges
         stats.total_work += outcome.work
         stats.max_depth = max(stats.max_depth, outcome.depth)
         stats.job_seconds += outcome.wall_seconds
-        method = outcome.job.method
-        stats.by_method[method] = stats.by_method.get(method, 0) + 1
 
     def finalize(self) -> BatchStats:
         return self.stats

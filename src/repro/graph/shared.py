@@ -217,6 +217,22 @@ class SharedCSR:
     def handle(self) -> SharedCSRHandle:
         return self._handle
 
+    @property
+    def closed(self) -> bool:
+        """Whether this process's mapping has been dropped."""
+        return self._closed
+
+    @property
+    def unlinked(self) -> bool:
+        """Whether the named segments have been removed (owner side)."""
+        return self._unlinked
+
+    def segment_names(self) -> tuple[str, str]:
+        """The two ``/dev/shm`` entry names backing this export — lets a
+        long-lived owner (e.g. a pool session reusing one export across
+        consecutive batches) audit that no further segments appear."""
+        return (self._handle.offsets_name, self._handle.neighbors_name)
+
     # ------------------------------------------------------------------
     # Teardown
     # ------------------------------------------------------------------

@@ -1,0 +1,20 @@
+"""Serving plane — asyncio front-end over the batch engine.
+
+The execution stack below this package is synchronous and batch-shaped;
+this package turns it into a *service*: concurrent asyncio clients
+``submit()`` individual diffusion queries, a drain loop micro-batches
+them, and one long-lived pool session (one process pool + one shared
+graph export, reused across every batch) executes them — interactive
+queries drained ahead of bulk backlogs.
+
+* :mod:`repro.serve.service` — :class:`DiffusionService` (submit /
+  submit_many / cluster, micro-batching, priority-aware draining),
+  :class:`ServiceStats`, :class:`ServiceClosed`.
+
+See also :func:`repro.core.api.async_local_cluster` (the one-call async
+convenience) and ``python -m repro serve`` (a stdin-JSON demo loop).
+"""
+
+from .service import PRIORITIES, DiffusionService, ServiceClosed, ServiceStats
+
+__all__ = ["DiffusionService", "ServiceStats", "ServiceClosed", "PRIORITIES"]

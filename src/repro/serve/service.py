@@ -1,0 +1,446 @@
+"""The async serving plane: concurrent clients, one engine, one pool.
+
+The paper pitches local clustering as an *interactive* primitive — "a data
+analyst wants to quickly explore the properties of local clusters found in
+a graph" — while its experiments are huge offline batches.  A production
+deployment (the local-clustering services sketched in Fountoulakis/Gleich/
+Mahoney's survey) needs both at once: long NCP-style batches and
+sub-second interactive queries sharing one machine, one graph, one worker
+pool.
+
+:class:`DiffusionService` is that front-end.  Clients ``submit()`` /
+``submit_many()`` :class:`~repro.engine.jobs.DiffusionJob`\\ s from any
+asyncio coroutine and get one awaitable future per job.  A single drain
+loop micro-batches queued submissions (up to ``max_batch`` jobs, after at
+most ``max_linger`` seconds of lingering for batch-mates) and runs each
+batch through **one long-lived execution session**
+(:meth:`repro.engine.BatchEngine.open_session`): the process pool starts
+once, the graph is exported into shared memory once, and every batch after
+that reuses both — no per-call pool start-up, no per-batch re-export.
+
+Scheduling is priority-aware.  Submissions carry a priority class
+(``"interactive"`` or ``"bulk"``); every drained batch takes interactive
+jobs first, in submission order, so an analyst's query entering behind a
+10^4-job NCP backlog rides the *next* micro-batch instead of the queue's
+tail.  Within each class order is FIFO, which is what keeps futures
+resolving in submission order per client.  The scheduler plane's cost
+estimates (:func:`repro.engine.scheduler.estimate_cost`) bound how much
+bulk work one batch may admit (``max_batch_cost``), so a wall of expensive
+bulk jobs cannot stretch the batch an interactive query is waiting behind.
+
+Execution happens in a dedicated worker thread (sessions are blocking and
+single-threaded); outcomes are resolved onto the event loop **as they
+stream back in job order**, so an interactive future can resolve while the
+same batch's bulk tail is still running.  Cancelled futures are skipped at
+drain time (queued) or dropped at resolution time (in flight) — either
+way the drain loop keeps going.
+
+>>> import asyncio
+>>> from repro.graph import barbell_graph
+>>> from repro.serve import DiffusionService
+>>> async def demo():
+...     async with DiffusionService(barbell_graph(8)) as service:
+...         outcome = await service.submit_query(0, eps=1e-5)
+...         return outcome.size
+>>> asyncio.run(demo())
+8
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..core.api import ALGORITHMS
+from ..engine.executor import BatchEngine, ExecutionSession, JobOutcome, resolve_engine
+from ..engine.jobs import DiffusionJob
+from ..engine.scheduler import estimate_cost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ResultCache
+    from ..core.result import ClusterResult
+    from ..graph.csr import CSRGraph
+
+__all__ = ["DiffusionService", "ServiceStats", "ServiceClosed", "PRIORITIES"]
+
+#: recognised submission priority classes, highest first.
+PRIORITIES = ("interactive", "bulk")
+
+
+class ServiceClosed(RuntimeError):
+    """Submitting to a service that is closing or closed."""
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters over the service's lifetime."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    by_priority: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        per_priority = " ".join(
+            f"{name}={self.by_priority.get(name, 0)}" for name in PRIORITIES
+        )
+        return (
+            f"submitted={self.submitted} ({per_priority}) "
+            f"completed={self.completed} failed={self.failed} "
+            f"cancelled={self.cancelled} batches={self.batches} "
+            f"cache_hits={self.cache_hits}"
+        )
+
+
+@dataclass
+class _Ticket:
+    """One queued submission: the job, its future, and drain metadata."""
+
+    job: DiffusionJob
+    priority: str
+    cost: float
+    future: "asyncio.Future[JobOutcome]"
+
+
+class DiffusionService:
+    """Asyncio front-end multiplexing clients onto one `BatchEngine` pool.
+
+    Parameters
+    ----------
+    graph:
+        The graph every query runs against.
+    engine:
+        A prebuilt :class:`repro.engine.BatchEngine` (or backend name);
+        ``None`` infers serial/process from ``workers`` exactly like the
+        engine constructor.  ``workers``, ``cache``, ``start_method`` and
+        ``schedule`` follow :func:`repro.engine.resolve_engine`.
+    max_batch:
+        Most jobs one micro-batch may carry (default 32).  Smaller batches
+        mean lower interactive latency under bulk load, at some dispatch
+        overhead.
+    max_linger:
+        Longest time (seconds) a queued submission waits for batch-mates
+        before the batch is dispatched anyway (default 2 ms).  ``0``
+        dispatches immediately.
+    max_batch_cost:
+        Optional cap on a batch's summed scheduler cost estimate
+        (:func:`repro.engine.scheduler.estimate_cost` units).  A batch
+        always admits at least one job; once the cap is exceeded the rest
+        of the backlog waits for the next batch.  This is the knob that
+        keeps micro-batches short — and interactive waits bounded — when
+        the bulk backlog is made of expensive jobs.
+
+    The service must be used from a single asyncio event loop.  Prefer the
+    async-context-manager form (``async with DiffusionService(...) as s:``)
+    — it pre-warms the pool on entry and drains + closes on exit.
+    """
+
+    def __init__(
+        self,
+        graph: "CSRGraph",
+        engine: "BatchEngine | str | None" = None,
+        *,
+        workers: int | None = None,
+        parallel: bool = True,
+        include_vectors: bool = True,
+        cache: "ResultCache | bool | str | None" = None,
+        start_method: str | None = None,
+        schedule: str | None = None,
+        max_batch: int = 32,
+        max_linger: float = 0.002,
+        max_batch_cost: float | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_linger < 0:
+            raise ValueError("max_linger must be >= 0")
+        if max_batch_cost is not None and max_batch_cost <= 0:
+            raise ValueError("max_batch_cost must be positive")
+        self.engine = resolve_engine(
+            graph,
+            engine,
+            workers=workers,
+            parallel=parallel,
+            include_vectors=include_vectors,
+            cache=cache,
+            start_method=start_method,
+            schedule=schedule,
+        )
+        self.max_batch = max_batch
+        self.max_linger = max_linger
+        self.max_batch_cost = max_batch_cost
+        self.stats = ServiceStats()
+        self._queues: dict[str, deque[_Ticket]] = {p: deque() for p in PRIORITIES}
+        self._session: ExecutionSession | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._drain_task: "asyncio.Task[None] | None" = None
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> "CSRGraph":
+        return self.engine.graph
+
+    @property
+    def session(self) -> ExecutionSession | None:
+        """The long-lived execution session (``None`` before first use)."""
+        return self._session
+
+    async def start(self) -> "DiffusionService":
+        """Pre-warm the service: start the drain loop, pool and export now,
+        so the first query does not pay them.  Optional — ``submit`` starts
+        everything lazily.
+
+        If the pool cannot start (fd exhaustion, a full ``/dev/shm``),
+        the service closes itself before re-raising: no drain task, no
+        worker thread, and further submissions raise `ServiceClosed`.
+        """
+        self._ensure_running()
+        loop = self._loop
+        assert loop is not None and self._executor is not None
+        try:
+            await loop.run_in_executor(self._executor, self._open_session)
+        except BaseException:
+            await self.close()
+            raise
+        return self
+
+    async def close(self) -> None:
+        """Drain every queued submission, then shut the pool down.
+
+        Safe to call more than once; after it returns no worker processes
+        or shared-memory segments of this service remain.
+        """
+        self._closing = True
+        if self._loop is None:  # never started — nothing to drain or stop
+            self._closed = True
+            return
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._drain_task is not None:
+            await self._drain_task
+            self._drain_task = None
+        if self._executor is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, self._close_session)
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    async def __aenter__(self) -> "DiffusionService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def _ensure_running(self) -> None:
+        """Bind to the running loop and start the drain task (idempotent)."""
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._wakeup = asyncio.Event()
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            self._drain_task = loop.create_task(self._drain_loop())
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "DiffusionService is bound to another event loop; create one "
+                "service per loop"
+            )
+
+    def _open_session(self) -> ExecutionSession:
+        """Open the one long-lived session (runs in the worker thread)."""
+        if self._session is None:
+            self._session = self.engine.open_session()
+        return self._session
+
+    def _close_session(self) -> None:
+        if self._session is not None:
+            self._session.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, job: DiffusionJob, priority: str = "interactive"
+    ) -> "asyncio.Future[JobOutcome]":
+        """Queue one job; the returned future resolves to its `JobOutcome`.
+
+        Invalid submissions (unknown method or priority, bad parameters,
+        out-of-range seeds) raise ``ValueError`` here, synchronously —
+        never from inside a worker, where one bad job would poison its
+        whole micro-batch.  Cancelling the future withdraws a queued job;
+        a job already in flight still runs, but its result is dropped.
+        """
+        if self._closing or self._closed:
+            raise ServiceClosed("service is closed; no further submissions")
+        self._validate(job, priority)
+        self._ensure_running()
+        assert self._loop is not None and self._wakeup is not None
+        future: "asyncio.Future[JobOutcome]" = self._loop.create_future()
+        # The estimate instantiates the params dataclass again; only pay
+        # for it when a cost cap will actually consult it at drain time.
+        cost = estimate_cost(job) if self.max_batch_cost is not None else 0.0
+        ticket = _Ticket(job=job, priority=priority, cost=cost, future=future)
+        self._queues[priority].append(ticket)
+        self.stats.submitted += 1
+        self.stats.by_priority[priority] = self.stats.by_priority.get(priority, 0) + 1
+        self._wakeup.set()
+        return future
+
+    def submit_many(
+        self, jobs: Iterable[DiffusionJob], priority: str = "bulk"
+    ) -> "list[asyncio.Future[JobOutcome]]":
+        """Queue a stream of jobs (bulk priority by default), one future each."""
+        return [self.submit(job, priority=priority) for job in jobs]
+
+    def submit_query(
+        self,
+        seeds: Any,
+        method: str = "pr-nibble",
+        rng: int = 0,
+        priority: str = "interactive",
+        **params: Any,
+    ) -> "asyncio.Future[JobOutcome]":
+        """Convenience: build the job from loose (seeds, method, params)."""
+        job = DiffusionJob.make(seeds, method=method, params=params, rng=rng)
+        return self.submit(job, priority=priority)
+
+    async def cluster(
+        self,
+        seeds: Any,
+        method: str = "pr-nibble",
+        rng: int = 0,
+        priority: str = "interactive",
+        **params: Any,
+    ) -> "ClusterResult":
+        """One awaited query, returned as the high-level `ClusterResult`."""
+        if not self.engine.include_vectors:
+            raise ValueError(
+                "rebuilding a ClusterResult needs the diffusion vectors; "
+                "build the service with include_vectors=True"
+            )
+        outcome = await self.submit_query(
+            seeds, method=method, rng=rng, priority=priority, **params
+        )
+        return outcome.to_cluster_result()
+
+    def _validate(self, job: DiffusionJob, priority: str) -> None:
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"unknown priority {priority!r}; choose from {PRIORITIES}"
+            )
+        if job.method not in ALGORITHMS:
+            raise ValueError(
+                f"unknown method {job.method!r}; choose from {sorted(ALGORITHMS)}"
+            )
+        params_cls = ALGORITHMS[job.method][0]
+        try:
+            params_cls(**job.params)
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"invalid {job.method} parameters: {error}") from None
+        num_vertices = self.engine.graph.num_vertices
+        for seed in job.seeds:
+            if not 0 <= seed < num_vertices:
+                raise ValueError(
+                    f"seed {seed} out of range for a {num_vertices}-vertex graph"
+                )
+
+    # ------------------------------------------------------------------
+    # The drain loop
+    # ------------------------------------------------------------------
+    def _pending_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    async def _drain_loop(self) -> None:
+        loop = self._loop
+        wakeup = self._wakeup
+        assert loop is not None and wakeup is not None
+        while True:
+            if self._pending_count() == 0:
+                if self._closing:
+                    return
+                wakeup.clear()
+                await wakeup.wait()
+                continue
+            # Linger briefly so near-simultaneous submissions share one
+            # batch — unless the batch is already full, or we're draining
+            # towards shutdown.
+            if (
+                self.max_linger > 0
+                and not self._closing
+                and self._pending_count() < self.max_batch
+            ):
+                await asyncio.sleep(self.max_linger)
+            batch = self._next_batch()
+            if not batch:  # everything queued had been cancelled
+                continue
+            self.stats.batches += 1
+            try:
+                await loop.run_in_executor(
+                    self._executor, self._execute_batch, loop, batch
+                )
+            except Exception as error:  # pool died, session broken, ...
+                for ticket in batch:
+                    if not ticket.future.done():
+                        self.stats.failed += 1
+                        ticket.future.set_exception(error)
+
+    def _next_batch(self) -> list[_Ticket]:
+        """Compose the next micro-batch: interactive first, FIFO within
+        each class, bounded by ``max_batch`` jobs and (optionally) by the
+        summed scheduler cost estimate."""
+        batch: list[_Ticket] = []
+        cost = 0.0
+        for priority in PRIORITIES:
+            queue = self._queues[priority]
+            while queue and len(batch) < self.max_batch:
+                if queue[0].future.done():  # cancelled while queued
+                    queue.popleft()
+                    self.stats.cancelled += 1
+                    continue
+                if (
+                    self.max_batch_cost is not None
+                    and batch
+                    and cost + queue[0].cost > self.max_batch_cost
+                ):
+                    return batch
+                ticket = queue.popleft()
+                batch.append(ticket)
+                cost += ticket.cost
+        return batch
+
+    def _execute_batch(
+        self, loop: asyncio.AbstractEventLoop, batch: list[_Ticket]
+    ) -> None:
+        """Worker-thread body: run one batch through the persistent session,
+        resolving each future onto the loop as its outcome streams back.
+
+        Outcomes arrive in job order, and interactive tickets sit at the
+        front of every batch — so an interactive future resolves as soon
+        as its own job is done, not when the batch's bulk tail finishes.
+        """
+        session = self._open_session()
+        for ticket, outcome in zip(batch, session.run(t.job for t in batch)):
+            loop.call_soon_threadsafe(self._resolve, ticket, outcome)
+
+    def _resolve(self, ticket: _Ticket, outcome: JobOutcome) -> None:
+        if outcome.cached:
+            self.stats.cache_hits += 1
+        if ticket.future.done():  # cancelled while in flight
+            self.stats.cancelled += 1
+            return
+        self.stats.completed += 1
+        ticket.future.set_result(outcome)

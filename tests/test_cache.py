@@ -358,6 +358,56 @@ class TestCachingBackend:
         assert [o.cached for o in engine.run(jobs)] == [False]
         assert [o.cached for o in engine.run(jobs)] == [True]
 
+    def test_stats_reducer_excludes_replayed_counters(self, graph):
+        """A cache hit echoes the *original* run's counters; BatchStats
+        must not fold them into this run's work totals (the same exclusion
+        rule BatchEngine.run applies to the recorded work-depth cost)."""
+        from repro.engine import StatsReducer
+
+        engine = BatchEngine(graph, cache=True)
+        jobs = [DiffusionJob.make(0), DiffusionJob.make(100)]
+        cold = engine.run(jobs, StatsReducer())
+        warm = engine.run(jobs + [DiffusionJob.make(200)], StatsReducer())
+        assert cold.cache_hits == 0
+        assert cold.total_pushes > 0 and cold.job_seconds > 0
+        fresh = engine.run([DiffusionJob.make(200)], StatsReducer())  # all-hit run
+        assert fresh.cache_hits == 1
+        # the warm run performed exactly one fresh diffusion (seed 200);
+        # the two replays count as jobs + cache_hits, never as work.
+        assert warm.jobs == 3
+        assert warm.completed == 3
+        assert warm.cache_hits == 2
+        assert warm.by_method == {"pr-nibble": 3}
+        uncached = BatchEngine(graph).run([DiffusionJob.make(200)], StatsReducer())
+        assert warm.total_pushes == uncached.total_pushes
+        assert warm.total_touched_edges == uncached.total_touched_edges
+        assert warm.total_work == pytest.approx(uncached.total_work)
+        assert warm.max_depth == pytest.approx(uncached.max_depth)
+
+    def test_caching_session_replays_hits_across_batches(self, graph, monkeypatch):
+        """The session protocol composes with caching: consecutive batches
+        share one inner session and hot queries never reach it."""
+        cache = ResultCache()
+        engine = BatchEngine(graph, cache=cache)
+        calls = []
+        real_run_job = executor_module.run_job
+        monkeypatch.setattr(
+            executor_module, "run_job", lambda *a, **k: calls.append(a) or real_run_job(*a, **k)
+        )
+        with engine.open_session() as session:
+            first = list(session.run([DiffusionJob.make(0), DiffusionJob.make(100)]))
+            assert len(calls) == 2
+            second = list(session.run([DiffusionJob.make(0), DiffusionJob.make(100)]))
+            assert len(calls) == 2  # all hits: the inner session saw nothing
+            assert session.batches == 1  # inner batches count dispatched misses
+        assert session.closed
+        assert [o.cached for o in first] == [False, False]
+        assert [o.cached for o in second] == [True, True]
+        for a, b in zip(first, second):
+            assert np.array_equal(a.cluster, b.cluster)
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run([DiffusionJob.make(0)])
+
     def test_duplicates_coalesce_within_one_batch(self, graph, monkeypatch):
         cache = ResultCache()
         engine = BatchEngine(graph, cache=cache)

@@ -179,6 +179,75 @@ class TestNcpWorkers:
         assert serial.read_text() == pooled.read_text()
 
 
+class TestServeCommand:
+    def _request_lines(self, *requests):
+        import io
+        import json
+
+        return io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n")
+
+    def test_serve_answers_in_request_order(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        monkeypatch.setattr(
+            "sys.stdin",
+            self._request_lines(
+                {"id": "q1", "seeds": 0, "params": {"eps": 1e-4}},
+                {"id": "q2", "seeds": [4], "priority": "bulk"},
+                {"id": "q3", "seeds": 1},
+            ),
+        )
+        assert main(["serve", str(path), "--max-linger", "0"]) == 0
+        captured = capsys.readouterr()
+        replies = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["id"] for r in replies] == ["q1", "q2", "q3"]
+        assert all(r["size"] > 0 for r in replies)
+        assert replies[0]["method"] == "pr-nibble"
+        assert "serve: submitted=3" in captured.err
+
+    def test_serve_reports_bad_requests_and_continues(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "this is not json\n"
+                + json.dumps({"seeds": 9999}) + "\n"
+                + json.dumps({"seeds": 0}) + "\n"
+            ),
+        )
+        assert main(["serve", str(path)]) == 0
+        replies = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert "bad request" in replies[0]["error"]
+        assert "out of range" in replies[1]["error"]
+        assert replies[2]["size"] > 0
+
+    def test_serve_start_method_without_workers_rejected(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", str(path), "--start-method", "spawn"])
+
+    def test_serve_with_cache_marks_replays(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        monkeypatch.setattr(
+            "sys.stdin",
+            self._request_lines({"seeds": 0}, {"seeds": 0}),
+        )
+        assert main(["serve", str(path), "--cache"]) == 0
+        replies = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [r["cached"] for r in replies] == [False, True]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

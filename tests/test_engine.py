@@ -362,6 +362,95 @@ class TestNonForkStartMethods:
         assert not ProcessPoolBackend(start_method="fork").folds_into_tracker
 
 
+class TestExecutionSessions:
+    """The pool-lifecycle split: one session serves consecutive batches
+    over one pool and one graph export, and closes deterministically."""
+
+    JOBS = staticmethod(
+        lambda seeds: [
+            DiffusionJob.make(s, params={"alpha": 0.05, "eps": 1e-4}) for s in seeds
+        ]
+    )
+
+    def test_serial_session_consecutive_batches_match_serial(self, graph):
+        engine = BatchEngine(graph)
+        reference = engine.run(self.JOBS((0, 100, 200, 300)))
+        with engine.open_session() as session:
+            first = list(session.run(self.JOBS((0, 100))))
+            second = list(session.run(self.JOBS((200, 300))))
+        assert session.batches == 2
+        for expected, outcome in zip(reference, first + second):
+            assert np.array_equal(expected.cluster, outcome.cluster)
+            assert outcome.conductance == expected.conductance
+
+    def test_pool_session_consecutive_batches_match_serial(self, graph):
+        serial = BatchEngine(graph).run(self.JOBS((0, 100, 200, 300)))
+        backend = ProcessPoolBackend(workers=2)
+        with backend.open_session(graph) as session:
+            first = list(session.run(self.JOBS((0, 100))))
+            second = list(session.run(self.JOBS((200, 300))))
+        assert session.batches == 2
+        for expected, outcome in zip(serial, first + second):
+            assert np.array_equal(expected.cluster, outcome.cluster)
+            assert outcome.conductance == expected.conductance
+            assert outcome.pushes == expected.pushes
+
+    def test_closed_session_refuses_further_batches(self, graph):
+        session = BatchEngine(graph).open_session()
+        session.close()
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(self.JOBS((0,)))
+
+    def test_pool_session_close_is_idempotent(self, graph):
+        session = ProcessPoolBackend(workers=2).open_session(graph)
+        list(session.run(self.JOBS((0,))))
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_spawn_session_reuses_one_export(self, graph):
+        """Consecutive batches reuse the same shared-memory export; close
+        unlinks it (the ROADMAP's segment-reuse follow-on)."""
+        if "spawn" not in multiprocessing.get_all_start_methods():  # pragma: no cover
+            pytest.skip("spawn start method unavailable on this platform")
+        from repro.graph.shared import SEGMENT_PREFIX
+
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX host
+            pytest.skip("no /dev/shm to audit on this platform")
+        backend = ProcessPoolBackend(workers=2, start_method="spawn")
+        session = backend.open_session(graph)
+        try:
+            list(session.run(self.JOBS((0, 100))))
+            shared = session.shared
+            assert shared is not None and not shared.unlinked
+            names = set(shared.segment_names())
+            assert names <= set(os.listdir(shm_dir))
+            list(session.run(self.JOBS((200,))))
+            assert session.shared is shared  # same export, no re-export
+            live = [f for f in os.listdir(shm_dir) if f.startswith(SEGMENT_PREFIX)]
+            assert set(live) == names
+        finally:
+            session.close()
+        assert shared.unlinked
+        assert [f for f in os.listdir(shm_dir) if f.startswith(SEGMENT_PREFIX)] == []
+
+    def test_abandoned_map_iterator_shuts_pool_down_on_close(self, graph):
+        """Closing an abandoned ``BatchEngine.map`` iterator must terminate
+        and join the pool's worker processes, not leave them to GC."""
+        before = {p.pid for p in multiprocessing.active_children()}
+        engine = BatchEngine(graph, backend=ProcessPoolBackend(workers=2))
+        stream = engine.map(self.JOBS((0, 100, 200, 300)))
+        next(stream)  # the pool is live mid-batch
+        started = [
+            p for p in multiprocessing.active_children() if p.pid not in before
+        ]
+        assert started, "expected live pool workers after first outcome"
+        stream.close()  # abandoning the iterator must tear the pool down
+        assert all(not p.is_alive() for p in started)
+
+
 class TestSharedCodePaths:
     """The backend refactor's de-duplication guarantees, asserted on the
     class structure so the old copy-pasted fallback loop cannot return."""
@@ -391,6 +480,25 @@ class TestEngineConfiguration:
         with pytest.raises(ValueError, match="unknown backend"):
             BatchEngine(graph, backend="threads")
 
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 4},
+            {"start_method": "spawn"},
+            {"schedule": "fifo"},
+            {"workers": 4, "schedule": "fifo"},
+        ],
+    )
+    def test_backend_instance_conflicting_kwargs_rejected(self, graph, kwargs):
+        """Pool knobs alongside a prebuilt backend used to be silently
+        ignored; now the conflict is an error naming the offenders."""
+        backend = SerialBackend()
+        with pytest.raises(ValueError, match="already constructed"):
+            BatchEngine(graph, backend=backend, **kwargs)
+        # the same knobs are fine when the backend is built by name, and a
+        # bare instance still passes.
+        assert BatchEngine(graph, backend=backend).backend is backend
+
     def test_resolve_engine_passthrough_and_mismatch(self, graph):
         engine = BatchEngine(graph)
         assert resolve_engine(graph, engine) is engine
@@ -398,7 +506,16 @@ class TestEngineConfiguration:
         with pytest.raises(ValueError, match="different graph"):
             resolve_engine(other, engine)
 
-    def test_resolve_engine_accepts_content_identical_graph(self, graph):
+    def test_resolve_engine_rejects_knobs_alongside_prebuilt_engine(self, graph):
+        """The same silent-ignore class fixed on BatchEngine: a ready
+        engine plus construction knobs is an error, not a no-op."""
+        engine = BatchEngine(graph)
+        for kwargs in ({"workers": 4}, {"cache": True}, {"start_method": "spawn"},
+                       {"schedule": "fifo"}):
+            with pytest.raises(ValueError, match="already constructed"):
+                resolve_engine(graph, engine, **kwargs)
+        # None / False mean "unset" and still pass the engine through.
+        assert resolve_engine(graph, engine, workers=None, cache=False) is engine
         # A different object with the same CSR content (e.g. the same
         # graph reloaded from disk) must pass the fingerprint check.
         from repro.graph import CSRGraph
