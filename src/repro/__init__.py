@@ -14,7 +14,7 @@ Quick start
 >>> graph = repro.graph.barbell_graph(16)
 >>> result = repro.local_cluster(graph, seeds=0, method="pr-nibble", eps=1e-5)
 >>> result.size, round(result.conductance, 4)
-(16, 0.0082)
+(16, 0.0041)
 
 Subpackages
 -----------
@@ -26,9 +26,11 @@ Subpackages
     The clustering algorithms, sweep cut, quality metrics, NCP driver.
 ``repro.engine``
     Batch executor: independent diffusion jobs fanned across a process
-    pool (or run serially) and aggregated through reducers.
+    pool, shard-routed (``shards=``), or run serially, aggregated
+    through reducers.
 ``repro.graph``
-    CSR graphs, builders, generators, IO, Table-2 proxy registry.
+    CSR graphs, builders, generators, IO, Table-2 proxy registry, the
+    shared-memory export plane and the sharded (partitioned) plane.
 ``repro.ligra``
     vertexSubset / vertexMap / edgeMap local-processing layer.
 ``repro.prims``

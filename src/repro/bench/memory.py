@@ -1,0 +1,121 @@
+"""Resident-memory probes: what does a serving process actually map?
+
+The sharded graph plane's claim is about *process* memory — a worker
+serving jobs through a :class:`~repro.graph.sharded.ShardedGraphView`
+keeps only the touched shard(s) resident, where the historical serving
+model materialises the whole CSR per worker.  Peak RSS can only be
+measured from inside a process whose lifetime spans exactly the serving
+work, so these helpers launch a **fresh interpreter** per probe
+(``python -c`` + a pickle handshake over stdin/stdout — deliberately not
+``multiprocessing.spawn``, whose child re-imports the parent's
+``__main__`` and, under a test runner, inflates every child's baseline
+RSS identically, drowning the few-MB graph signal) and report
+``ru_maxrss`` plus per-job latencies.
+
+Two probe modes, same jobs, same outcomes:
+
+* ``whole``  — the child receives the full CSR arrays (the
+  every-worker-holds-the-graph model) and runs jobs against them.
+* ``sharded`` — the child receives only a picklable
+  :class:`~repro.graph.sharded.ShardedCSRHandle` and serves through a
+  lazily attaching view capped at ``max_resident`` shards.
+
+Used by ``benchmarks/bench_sharded.py``; kept in the library so the
+child entry point is importable from a bare interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["measure_probe", "serve_and_report"]
+
+
+def serve_and_report(mode, payload, jobs, max_resident):
+    """Serve ``jobs`` in this process; report peak RSS + latencies.
+
+    Meant to run inside a probe child whose whole lifetime is the serving
+    work, so ``ru_maxrss`` is attributable to it.
+    """
+    import time
+
+    from ..engine.executor import run_job
+    from ..graph.csr import CSRGraph
+    from ..graph.sharded import ShardedGraphView
+
+    def peak_rss_bytes() -> int:
+        # /proc VmHWM, not getrusage: Linux carries ru_maxrss across
+        # fork+exec, so a probe child would report the *launching*
+        # process's peak; VmHWM resets on exec and is this child's own.
+        try:
+            with open("/proc/self/status") as status:
+                for line in status:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1]) * 1024
+        except OSError:  # pragma: no cover - non-Linux host
+            pass
+        import resource  # pragma: no cover - non-Linux fallback
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+    if mode == "whole":
+        offsets, neighbors = payload
+        graph = CSRGraph.__new__(CSRGraph)  # validated in the parent
+        graph.offsets = offsets
+        graph.neighbors = neighbors
+        holder = None
+    else:
+        holder = ShardedGraphView(payload, max_resident=max_resident)
+        graph = holder
+    latencies = []
+    checksum = 0
+    for index, job in enumerate(jobs):
+        start = time.perf_counter()
+        outcome = run_job(graph, job, index=index, include_vector=False)
+        latencies.append(time.perf_counter() - start)
+        checksum += outcome.pushes
+    report = {
+        "peak_rss_bytes": peak_rss_bytes(),
+        "latencies": latencies,
+        "pushes_checksum": checksum,
+        "resident_shards": holder.resident_shards if holder is not None else None,
+        "lazy_attaches": holder.attaches if holder is not None else None,
+    }
+    if holder is not None:
+        holder.close()
+    return report
+
+
+def _child_main() -> None:  # pragma: no cover - runs in probe children only
+    """Entry point for ``python -c``: pickle request in, pickle report out."""
+    mode, payload, jobs, max_resident = pickle.load(sys.stdin.buffer)
+    report = serve_and_report(mode, payload, jobs, max_resident)
+    pickle.dump(report, sys.stdout.buffer)
+    sys.stdout.buffer.flush()
+
+
+def measure_probe(mode, payload, jobs: Sequence, max_resident=None, timeout=300.0):
+    """Run one probe in a fresh interpreter and return its report dict."""
+    package_root = str(Path(__file__).resolve().parents[2])  # .../src
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root if not existing else package_root + os.pathsep + existing
+    )
+    request = pickle.dumps((mode, payload, list(jobs), max_resident))
+    completed = subprocess.run(
+        [sys.executable, "-c", "from repro.bench.memory import _child_main; _child_main()"],
+        input=request,
+        stdout=subprocess.PIPE,
+        env=env,
+        timeout=timeout,
+        check=False,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"{mode} probe exited with {completed.returncode}")
+    return pickle.loads(completed.stdout)

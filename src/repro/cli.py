@@ -30,6 +30,13 @@ Commands
 for the run — overlapping grids coalesce) and ``--cache-dir DIR``
 (persist outcomes on disk so repeated invocations replay instead of
 re-diffusing).
+
+``batch`` and ``serve`` accept ``--shards K`` (execute through the
+sharded graph plane: the CSR is partitioned into K vertex-range shards,
+each job routes to the shard(s) owning its seeds, and shards attach
+lazily as diffusions cross boundaries) plus ``--max-resident-shards``
+(bound resident graph memory) and ``--spill-shards`` (whole-graph
+fallback threshold).
 """
 
 from __future__ import annotations
@@ -215,15 +222,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     workers = max(1, args.workers)
     cache = _cache_from_args(args)
-    engine = BatchEngine(
-        graph,
-        backend="process" if workers > 1 else "serial",
-        workers=workers,
-        include_vectors=False,
-        cache=cache,
-        start_method=args.start_method,
-        schedule=args.schedule,
-    )
+    _check_shard_flags(args)
+    if args.shards is not None:
+        _check_shard_conflicts(args, workers)
+        engine = BatchEngine(
+            graph,
+            backend="sharded",
+            shards=args.shards,
+            max_resident_shards=args.max_resident_shards,
+            spill_shards=args.spill_shards,
+            include_vectors=False,
+            cache=cache,
+        )
+    else:
+        engine = BatchEngine(
+            graph,
+            backend="process" if workers > 1 else "serial",
+            workers=workers,
+            include_vectors=False,
+            cache=cache,
+            start_method=args.start_method,
+            schedule=args.schedule,
+        )
     # Stream outcomes straight to CSV so a large batch never lives in memory.
     stats_reducer = StatsReducer()
     best_reducer = BestClusterReducer()
@@ -274,7 +294,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     cache = _cache_from_args(args)
     workers = max(1, args.workers)
-    if workers == 1 and args.start_method is not None:
+    _check_shard_flags(args)
+    if args.shards is not None:
+        _check_shard_conflicts(args, workers)
+    elif workers == 1 and args.start_method is not None:
         raise SystemExit(
             "error: --start-method configures the worker pool; pass --workers > 1"
         )
@@ -283,8 +306,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=workers if workers > 1 else None,
         include_vectors=False,
         cache=cache,
-        start_method=args.start_method,
-        schedule=args.schedule,
+        start_method=None if args.shards is not None else args.start_method,
+        schedule=None if args.shards is not None else args.schedule,
+        shards=args.shards,
+        max_resident_shards=args.max_resident_shards,
+        spill_shards=args.spill_shards,
         max_batch=args.max_batch,
         max_linger=args.max_linger / 1000.0,
         max_batch_cost=args.max_batch_cost,
@@ -473,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--rng", type=int, default=0)
     _add_pool_flags(batch)
+    _add_shard_flags(batch)
     _add_cache_flags(batch)
     batch.set_defaults(run=_cmd_batch)
 
@@ -512,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
         "long an interactive request can wait behind bulk work",
     )
     _add_pool_flags(serve)
+    _add_shard_flags(serve)
     _add_cache_flags(serve)
     serve.set_defaults(run=_cmd_serve)
 
@@ -543,6 +571,68 @@ def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
         help="chunking policy: 'cost' packs cost-balanced, longest-first "
         "chunks from the O(1/(eps*alpha))-style work bounds (default); "
         "'fifo' uses contiguous count-based chunks",
+    )
+
+
+def _check_shard_flags(args: argparse.Namespace) -> None:
+    """Shard tuning flags are meaningless without --shards; reject them
+    loudly rather than silently running unsharded."""
+    if args.shards is not None:
+        return
+    for flag, value in (
+        ("--max-resident-shards", args.max_resident_shards),
+        ("--spill-shards", args.spill_shards),
+    ):
+        if value is not None:
+            raise SystemExit(f"error: {flag} requires --shards")
+
+
+def _check_shard_conflicts(args: argparse.Namespace, workers: int) -> None:
+    """--shards selects the in-process shard router; pool flags don't apply."""
+    if workers > 1:
+        raise SystemExit(
+            "error: --shards routes jobs in-process; it is incompatible "
+            "with --workers > 1"
+        )
+    if args.start_method is not None:
+        raise SystemExit(
+            "error: --start-method configures the worker pool; it does not "
+            "apply with --shards"
+        )
+    if args.schedule != "cost":
+        raise SystemExit(
+            "error: --schedule packs process-pool chunks; it does not "
+            "apply with --shards"
+        )
+
+
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="partition the graph into K contiguous vertex-range shards and "
+        "route each job to the shard(s) owning its seeds; shards attach "
+        "lazily, so the whole graph need not stay resident (in-process; "
+        "incompatible with --workers > 1)",
+    )
+    parser.add_argument(
+        "--max-resident-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --shards: keep at most N shards attached at once "
+        "(least-recently-used detach) — bounds resident graph memory",
+    )
+    parser.add_argument(
+        "--spill-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --shards: a job touching more than N distinct shards "
+        "falls back to whole-graph execution (results are identical "
+        "either way)",
     )
 
 

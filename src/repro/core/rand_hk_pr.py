@@ -179,7 +179,7 @@ def rand_hk_pr_parallel(
         vertices = vertices[walkable]
         degrees = degrees[walkable]
         pick = (rng.random(len(active)) * degrees).astype(np.int64)
-        current[active] = graph.neighbors[graph.offsets[vertices] + pick]
+        current[active] = graph.neighbor_at(vertices, pick)
         steps += len(active)
         record(work=len(active), depth=1.0, category="walk")
     record(work=params.num_walks, depth=log2ceil(params.num_walks), category="walk")

@@ -39,6 +39,7 @@ from .executor import (
     run_job,
 )
 from .jobs import DiffusionJob, job_grid
+from .router import RouterSession, RouterStats, ShardRouter, plan_placement
 from .scheduler import SCHEDULES, chunk_costs, estimate_cost, plan_chunks
 from .reducers import (
     BatchStats,
@@ -61,6 +62,10 @@ __all__ = [
     "run_job",
     "DiffusionJob",
     "job_grid",
+    "RouterSession",
+    "RouterStats",
+    "ShardRouter",
+    "plan_placement",
     "SCHEDULES",
     "chunk_costs",
     "estimate_cost",

@@ -563,8 +563,9 @@ class BatchEngine:
     graph:
         The (read-only) graph every job runs against.
     backend:
-        ``"serial"``, ``"process"``, a backend instance, or ``None`` to
-        pick ``"process"`` when ``workers`` asks for more than one worker
+        ``"serial"``, ``"process"``, ``"sharded"``, a backend instance,
+        or ``None`` to pick ``"sharded"`` when ``shards`` is given,
+        ``"process"`` when ``workers`` asks for more than one worker,
         and ``"serial"`` otherwise.  Passing a backend *instance* together
         with ``workers``, ``start_method`` or ``schedule`` raises
         ``ValueError`` — those knobs configure a backend built by name and
@@ -590,6 +591,21 @@ class BatchEngine:
         cost-balanced longest-first chunks) or ``"fifo"`` (contiguous
         count-based chunks).  Only consulted when the backend is built by
         name.
+    shards:
+        Partition the graph into this many contiguous vertex-range shards
+        and execute through the shard-routed backend
+        (:class:`repro.engine.router.ShardRouter`): each job runs on a
+        lazy view over the shard(s) owning its seeds, so the whole CSR
+        need not be resident.  Implies ``backend="sharded"``; incompatible
+        with ``workers``/``start_method``/``schedule`` (the router is
+        in-process in this release).
+    max_resident_shards:
+        With ``shards``: cap on shards mapped at once per executing view
+        (LRU detach beyond it) — the resident-graph-memory bound.
+    spill_shards:
+        With ``shards``: distinct-shards-per-job threshold beyond which a
+        diffusion falls back to whole-graph execution (results are
+        bit-identical either way).
     cache:
         Memoise job outcomes keyed by (graph fingerprint, method,
         canonical params, seed set): ``True`` for a fresh in-memory
@@ -615,6 +631,9 @@ class BatchEngine:
         cache: "ResultCache | bool | str | None" = None,
         start_method: str | None = None,
         schedule: str | None = None,
+        shards: int | None = None,
+        max_resident_shards: int | None = None,
+        spill_shards: int | None = None,
     ) -> None:
         from ..cache import CachingBackend, resolve_cache
 
@@ -622,9 +641,48 @@ class BatchEngine:
         self.parallel = parallel
         self.include_vectors = include_vectors
         if backend is None:
-            backend = "process" if workers is not None and workers > 1 else "serial"
-        if backend == "serial":
-            self.backend: "PoolBackend | CachingBackend" = SerialBackend()
+            if shards is not None:
+                backend = "sharded"
+            else:
+                backend = "process" if workers is not None and workers > 1 else "serial"
+        shard_knobs = [
+            name
+            for name, value in (
+                ("shards", shards),
+                ("max_resident_shards", max_resident_shards),
+                ("spill_shards", spill_shards),
+            )
+            if value is not None
+        ]
+        if backend in ("serial", "process") and shard_knobs:
+            raise ValueError(
+                f"{', '.join(shard_knobs)} only apply to the sharded backend "
+                f"(pass shards= or backend='sharded'), not backend={backend!r}"
+            )
+        if backend == "sharded":
+            from .router import ShardRouter
+
+            conflicts = [
+                name
+                for name, value in (
+                    ("workers", workers),
+                    ("start_method", start_method),
+                    ("schedule", schedule),
+                )
+                if value is not None
+            ]
+            if conflicts:
+                raise ValueError(
+                    f"the sharded backend is in-process; {', '.join(conflicts)} "
+                    "would configure a process pool and be silently ignored"
+                )
+            self.backend: "PoolBackend | CachingBackend" = ShardRouter(
+                shards=shards if shards is not None else 4,
+                max_resident_shards=max_resident_shards,
+                spill_shards=spill_shards,
+            )
+        elif backend == "serial":
+            self.backend = SerialBackend()
         elif backend == "process":
             self.backend = ProcessPoolBackend(
                 workers=workers,
@@ -632,7 +690,7 @@ class BatchEngine:
                 schedule=schedule if schedule is not None else "cost",
             )
         elif isinstance(backend, (PoolBackend, CachingBackend)):
-            conflicts = [
+            conflicts = shard_knobs + [
                 name
                 for name, value in (
                     ("workers", workers),
@@ -650,8 +708,8 @@ class BatchEngine:
             self.backend = backend
         else:
             raise ValueError(
-                f"unknown backend {backend!r}; expected 'serial', 'process' "
-                "or a backend instance"
+                f"unknown backend {backend!r}; expected 'serial', 'process', "
+                "'sharded' or a backend instance"
             )
         resolved_cache = resolve_cache(cache)
         if resolved_cache is not None and not isinstance(self.backend, CachingBackend):
@@ -730,6 +788,9 @@ def resolve_engine(
     cache: "ResultCache | bool | str | None" = None,
     start_method: str | None = None,
     schedule: str | None = None,
+    shards: int | None = None,
+    max_resident_shards: int | None = None,
+    spill_shards: int | None = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
@@ -756,6 +817,9 @@ def resolve_engine(
                 ("cache", cache),
                 ("start_method", start_method),
                 ("schedule", schedule),
+                ("shards", shards),
+                ("max_resident_shards", max_resident_shards),
+                ("spill_shards", spill_shards),
             )
             if value is not None and value is not False
         ]
@@ -774,4 +838,7 @@ def resolve_engine(
         cache=cache,
         start_method=start_method,
         schedule=schedule,
+        shards=shards,
+        max_resident_shards=max_resident_shards,
+        spill_shards=spill_shards,
     )

@@ -28,6 +28,21 @@ moment the pool does and the tail of the batch is made of cheap chunks
 that cannot straggle.  Determinism is unaffected: chunk packing decides
 only *where and when* a job runs; every outcome carries its original batch
 index and the executor re-emits the stream in job order.
+
+Runnable example — a tight ``eps`` costs orders of magnitude more than a
+loose one, and a cost plan still covers the batch exactly once:
+
+>>> from repro.engine import DiffusionJob
+>>> cheap = DiffusionJob.make(0, params={"alpha": 0.05, "eps": 1e-4})
+>>> costly = DiffusionJob.make(1, params={"alpha": 0.05, "eps": 1e-6})
+>>> round(estimate_cost(costly) / estimate_cost(cheap))
+100
+>>> chunks = plan_chunks([cheap, costly, cheap, costly], workers=2)
+>>> sorted(index for chunk in chunks for index, _ in chunk)
+[0, 1, 2, 3]
+>>> costs = chunk_costs(chunks)
+>>> costs == sorted(costs, reverse=True)    # heaviest chunk dispatches first
+True
 """
 
 from __future__ import annotations

@@ -39,6 +39,14 @@ from .io import (
 )
 from .proxies import PROXIES, ProxySpec, default_scale, load_proxy, proxy_names
 from .shared import SharedCSR, SharedCSRHandle
+from .sharded import (
+    ShardMap,
+    ShardSpill,
+    ShardedCSR,
+    ShardedCSRHandle,
+    ShardedGraphView,
+    plan_boundaries,
+)
 
 __all__ = [
     "CSRGraph",
@@ -77,4 +85,10 @@ __all__ = [
     "proxy_names",
     "SharedCSR",
     "SharedCSRHandle",
+    "ShardMap",
+    "ShardSpill",
+    "ShardedCSR",
+    "ShardedCSRHandle",
+    "ShardedGraphView",
+    "plan_boundaries",
 ]

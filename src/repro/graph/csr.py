@@ -160,6 +160,17 @@ class CSRGraph:
         """vol(S) — sum of degrees over the vertex set ``vertices``."""
         return int(self.degrees(np.asarray(vertices, dtype=np.int64)).sum())
 
+    def neighbor_at(self, vertices: np.ndarray, pick: np.ndarray) -> np.ndarray:
+        """The ``pick``-th neighbor of each vertex (vectorised walk step).
+
+        Every graph read the algorithms perform goes through a method —
+        never raw ``offsets``/``neighbors`` indexing — so the sharded view
+        (:mod:`repro.graph.sharded`) can answer it per shard.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pick = np.asarray(pick, dtype=np.int64)
+        return self.neighbors[self.offsets[vertices] + pick]
+
     def has_edge(self, u: int, v: int) -> bool:
         """Membership test via binary search (adjacency lists are sorted)."""
         adjacency = self.neighbors_of(u)

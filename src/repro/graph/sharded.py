@@ -1,0 +1,500 @@
+"""Sharded graph plane: partitioned CSR for graphs bigger than one worker.
+
+The paper's whole premise is that a local diffusion touches only a seed's
+neighbourhood — cluster time is independent of graph size (Shun et al.,
+VLDB 2016), and the distributed heat-kernel line of work (Chung & Simpson)
+shows local clustering survives partitioned graph storage.  Memory-scalable
+serving should therefore not require every process to hold the full CSR:
+a worker answering queries about one region of the graph only needs that
+region resident.
+
+:class:`ShardedCSR` mechanises that.  It splits a
+:class:`~repro.graph.csr.CSRGraph` into ``K`` contiguous vertex-range
+shards, each exported as an independent pair of shared-memory segments
+(reusing :class:`~repro.graph.shared.SharedCSR`, so the per-shard
+lifecycle, leak auditing and zero-copy attach are exactly the PR-3 graph
+plane's).  A compact :class:`ShardMap` — just the ``K+1`` boundary vertex
+ids — routes any vertex to its owning shard in O(log K).
+
+:class:`ShardedGraphView` is the serving side: a CSR-compatible graph
+object that starts with *no* shard resident and attaches each shard
+**lazily**, the first time a read touches one of its vertices.  Because a
+shard stores its neighbour lists with *global* vertex ids, every read the
+view answers is bit-identical to the unsharded graph — lazy attach is an
+exactness-preserving memory optimisation, never an approximation:
+
+* ``max_resident`` caps how many shards the view keeps mapped at once;
+  excess shards are detached least-recently-used first (and transparently
+  re-attached if touched again), so peak resident graph memory is
+  ``max_resident`` shards instead of the whole CSR.
+* ``spill_shards`` bounds how many *distinct* shards one diffusion may
+  touch before the view raises :class:`ShardSpill` — the signal the
+  engine's :class:`~repro.engine.router.ShardRouter` uses to escalate a
+  non-local job to whole-graph execution instead of faulting the entire
+  graph in shard by shard.
+
+Runnable example — partition, attach lazily, read exactly:
+
+>>> import numpy as np
+>>> from repro.graph import barbell_graph
+>>> from repro.graph.sharded import ShardedCSR
+>>> graph = barbell_graph(8)                    # two 8-cliques, one bridge
+>>> with ShardedCSR.create(graph, shards=2) as sharded:
+...     with sharded.view(max_resident=1) as view:
+...         left = view.degrees(np.arange(8))           # attaches shard 0
+...         right = view.degrees(np.arange(8, 16))      # attaches shard 1
+...         resident_at_once = view.resident_shards
+>>> bool(np.array_equal(left, graph.degrees(np.arange(8))))
+True
+>>> resident_at_once                             # LRU held the cap
+1
+
+Lifecycle mirrors :mod:`repro.graph.shared`: the creating process owns the
+segments and must ``unlink()`` (context manager / atexit guard both work);
+views only ever ``close()`` their local mappings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..prims.scan import exclusive_prefix_sum
+from ..runtime import log2ceil, record
+from .csr import CSRGraph
+from .shared import SharedCSR, SharedCSRHandle
+
+__all__ = [
+    "ShardMap",
+    "ShardSpill",
+    "ShardedCSR",
+    "ShardedCSRHandle",
+    "ShardedGraphView",
+    "plan_boundaries",
+]
+
+
+class ShardSpill(RuntimeError):
+    """A computation touched more distinct shards than its spill threshold.
+
+    Raised by :class:`ShardedGraphView` when ``spill_shards`` is set and a
+    read would attach one shard too many.  Catchers (the engine's
+    :class:`~repro.engine.router.ShardRouter`) re-run the job against the
+    whole graph — results are identical either way; only the memory
+    footprint differs.
+    """
+
+
+def plan_boundaries(offsets: np.ndarray, num_shards: int) -> tuple[int, ...]:
+    """Volume-balanced contiguous vertex ranges: ``K+1`` boundary ids.
+
+    Shards are cut so each holds roughly ``2m / K`` neighbour entries —
+    memory per shard, not vertices per shard, is what a resident-set cap
+    bounds.  Boundaries are non-decreasing and cover ``[0, n)`` exactly;
+    a pathological degree distribution may yield empty shards (their
+    range is empty, their segment one byte), which routing handles.
+    """
+    n = len(offsets) - 1
+    k = max(1, min(int(num_shards), max(n, 1)))
+    targets = np.linspace(0, int(offsets[-1]), k + 1)[1:-1]
+    cuts = np.searchsorted(np.asarray(offsets), targets, side="left")
+    boundaries = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    boundaries = np.maximum.accumulate(boundaries)
+    return tuple(int(b) for b in boundaries)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The compact routing structure: ``K+1`` boundary vertex ids.
+
+    Shard ``k`` owns the contiguous vertex range
+    ``[boundaries[k], boundaries[k+1])``.  This is the *entire* metadata a
+    router or view needs to place a vertex — a few dozen bytes for any
+    realistic shard count, trivially picklable.
+    """
+
+    boundaries: tuple[int, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def num_vertices(self) -> int:
+        return self.boundaries[-1]
+
+    def span(self, shard: int) -> tuple[int, int]:
+        """``[lo, hi)`` vertex range owned by ``shard``."""
+        return self.boundaries[shard], self.boundaries[shard + 1]
+
+    def shard_of(self, vertices: np.ndarray | int) -> np.ndarray | int:
+        """Owning shard id(s) for vertex id(s) — O(log K) searchsorted."""
+        bounds = np.asarray(self.boundaries[1:], dtype=np.int64)
+        result = np.searchsorted(bounds, np.asarray(vertices, dtype=np.int64), side="right")
+        if np.ndim(vertices) == 0:
+            return int(result)
+        return result
+
+    def shards_of(self, vertices: Iterable[int] | np.ndarray) -> tuple[int, ...]:
+        """Sorted distinct owning shards of a vertex set (a job's home)."""
+        array = np.atleast_1d(np.asarray(list(vertices), dtype=np.int64))
+        if len(array) == 0:
+            return ()
+        return tuple(int(s) for s in np.unique(self.shard_of(array)))
+
+
+@dataclass(frozen=True)
+class ShardedCSRHandle:
+    """Picklable description of a sharded export: shard map + segment names.
+
+    Like :class:`~repro.graph.shared.SharedCSRHandle`, this is what crosses
+    an IPC boundary instead of the graph: the boundaries tuple, one tiny
+    segment handle per shard, the global sizes, and the base graph's
+    content fingerprint (so views keep cache identity with the unsharded
+    graph — a sharded run hits the same cache entries as a whole-graph
+    run).
+    """
+
+    boundaries: tuple[int, ...]
+    shards: tuple[SharedCSRHandle, ...]
+    num_vertices: int
+    num_neighbors: int
+    fingerprint: str
+
+    def map(self) -> ShardMap:
+        return ShardMap(self.boundaries)
+
+
+def _shard_piece(graph: CSRGraph, lo: int, hi: int) -> CSRGraph:
+    """Shard ``[lo, hi)`` as a CSR piece: local offsets, GLOBAL neighbor ids.
+
+    Built via ``__new__`` because a shard is deliberately not a valid
+    standalone graph — its neighbour ids point anywhere in the full vertex
+    space, which is exactly what keeps sharded reads bit-identical.
+    """
+    piece = CSRGraph.__new__(CSRGraph)
+    piece.offsets = (graph.offsets[lo : hi + 1] - graph.offsets[lo]).astype(np.int64)
+    piece.neighbors = graph.neighbors[graph.offsets[lo] : graph.offsets[hi]]
+    return piece
+
+
+class ShardedCSR:
+    """A CSR graph partitioned into independently exported vertex-range shards.
+
+    The creating process owns every shard's shared-memory segments; pass
+    :meth:`handle` across process boundaries and build
+    :class:`ShardedGraphView`\\ s there (or locally via :meth:`view`).
+    ``unlink()`` removes all segments; the per-shard atexit guards from
+    :mod:`repro.graph.shared` cover abandoned owners.
+    """
+
+    def __init__(self, shards: list[SharedCSR], handle: ShardedCSRHandle) -> None:
+        self._shards = shards
+        self._handle = handle
+        self.map = handle.map()
+
+    @classmethod
+    def create(cls, graph: CSRGraph, shards: int = 4) -> "ShardedCSR":
+        """Partition ``graph`` into ``shards`` volume-balanced exports."""
+        boundaries = plan_boundaries(graph.offsets, shards)
+        exported: list[SharedCSR] = []
+        try:
+            for k in range(len(boundaries) - 1):
+                piece = _shard_piece(graph, boundaries[k], boundaries[k + 1])
+                exported.append(SharedCSR.create(piece))
+        except BaseException:
+            for owner in exported:
+                owner.unlink()
+            raise
+        handle = ShardedCSRHandle(
+            boundaries=boundaries,
+            shards=tuple(owner.handle() for owner in exported),
+            num_vertices=graph.num_vertices,
+            num_neighbors=len(graph.neighbors),
+            fingerprint=graph.fingerprint(),
+        )
+        return cls(exported, handle)
+
+    @property
+    def num_shards(self) -> int:
+        return self.map.num_shards
+
+    def handle(self) -> ShardedCSRHandle:
+        return self._handle
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Every ``/dev/shm`` entry backing this export (for leak audits)."""
+        names: list[str] = []
+        for owner in self._shards:
+            names.extend(owner.segment_names())
+        return tuple(names)
+
+    def shard_nbytes(self) -> list[int]:
+        """Approximate per-shard memory (offsets + neighbors bytes)."""
+        sizes = []
+        for sub in self._handle.shards:
+            sizes.append(8 * (sub.num_offsets + sub.num_neighbors))
+        return sizes
+
+    def view(
+        self,
+        max_resident: int | None = None,
+        spill_shards: int | None = None,
+    ) -> "ShardedGraphView":
+        """A lazy view over this export (see :class:`ShardedGraphView`)."""
+        return ShardedGraphView(
+            self._handle, max_resident=max_resident, spill_shards=spill_shards
+        )
+
+    def unlink(self) -> None:
+        """Remove every shard's segments (idempotent, owner only)."""
+        for owner in self._shards:
+            owner.unlink()
+
+    def close(self) -> None:
+        for owner in self._shards:
+            owner.close()
+
+    def __enter__(self) -> "ShardedCSR":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedCSR(n={self._handle.num_vertices}, "
+            f"shards={self.num_shards}, boundaries={self._handle.boundaries})"
+        )
+
+
+class ShardedGraphView:
+    """A CSR-compatible graph over a sharded export, attaching shards lazily.
+
+    Implements the full read API the diffusions, sweep cut and quality
+    metrics consume — ``degrees`` / ``neighbors_of`` / ``gather_edges`` /
+    ``neighbor_at`` / ``volume`` / ``has_edge`` — by routing each vertex to
+    its owning shard through the :class:`ShardMap` and attaching segments
+    only when first touched.  All answers are bit-identical to the
+    unsharded :class:`~repro.graph.csr.CSRGraph` (neighbour ids are global;
+    work-depth records mirror the base implementation), so an engine can
+    swap a view in for the graph without changing any result.
+
+    ``max_resident`` bounds simultaneously mapped shards (LRU detach;
+    exact, since a detached shard transparently re-attaches).
+    ``spill_shards`` bounds distinct shards touched since the last
+    :meth:`reset_spill` — crossing it raises :class:`ShardSpill` for the
+    router to escalate.  Not thread-safe; one view per executing job
+    stream.
+    """
+
+    def __init__(
+        self,
+        handle: ShardedCSRHandle,
+        max_resident: int | None = None,
+        spill_shards: int | None = None,
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        if spill_shards is not None and spill_shards < 1:
+            raise ValueError("spill_shards must be >= 1")
+        self._handle = handle
+        self.map = handle.map()
+        self.max_resident = max_resident
+        self.spill_shards = spill_shards
+        self._resident: "OrderedDict[int, SharedCSR]" = OrderedDict()
+        self._touched: set[int] = set()
+        self.attaches = 0
+        self.detaches = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Residency: lazy attach, LRU detach, spill accounting
+    # ------------------------------------------------------------------
+    def _arrays(self, shard: int) -> tuple[np.ndarray, np.ndarray]:
+        """(local offsets, neighbors) of ``shard``, attaching if needed."""
+        if self._closed:
+            raise RuntimeError("view is closed")
+        # Spill accounting is independent of residency: the budget counts
+        # the distinct shards the *current scope* (the router: one job)
+        # touches, whether or not an earlier scope left them mapped.
+        if (
+            self.spill_shards is not None
+            and shard not in self._touched
+            and len(self._touched) >= self.spill_shards
+        ):
+            raise ShardSpill(
+                f"computation needs shard {shard} beyond the "
+                f"{len(self._touched)} it already touched — spill threshold "
+                f"is {self.spill_shards} shard(s)"
+            )
+        self._touched.add(shard)
+        attached = self._resident.get(shard)
+        if attached is not None:
+            self._resident.move_to_end(shard)
+            return attached.graph.offsets, attached.graph.neighbors
+        while self.max_resident is not None and len(self._resident) >= self.max_resident:
+            _, oldest = self._resident.popitem(last=False)
+            oldest.close()
+            self.detaches += 1
+        attached = SharedCSR.attach(self._handle.shards[shard])
+        self._resident[shard] = attached
+        self.attaches += 1
+        return attached.graph.offsets, attached.graph.neighbors
+
+    @property
+    def resident_shards(self) -> int:
+        """Shards currently mapped into this process."""
+        return len(self._resident)
+
+    @property
+    def touched_shards(self) -> tuple[int, ...]:
+        """Distinct shards touched since construction / :meth:`reset_spill`."""
+        return tuple(sorted(self._touched))
+
+    def reset_spill(self) -> None:
+        """Start a fresh spill-accounting scope (the router calls this per
+        job, so the threshold bounds one diffusion's own footprint —
+        shards left resident by earlier jobs don't count against it)."""
+        self._touched = set()
+
+    def close(self) -> None:
+        """Detach every resident shard (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for attached in self._resident.values():
+            attached.close()
+        self._resident.clear()
+
+    def __enter__(self) -> "ShardedGraphView":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Sizes — global, straight off the handle
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._handle.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._handle.num_neighbors // 2
+
+    @property
+    def total_volume(self) -> int:
+        return self._handle.num_neighbors
+
+    def fingerprint(self) -> str:
+        """The *base graph's* content fingerprint: a sharded run shares
+        cache entries (and `resolve_engine` identity) with unsharded runs."""
+        return self._handle.fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ShardedGraphView(n={self.num_vertices}, shards={self.map.num_shards}, "
+            f"resident={sorted(self._resident)}, max_resident={self.max_resident})"
+        )
+
+    # ------------------------------------------------------------------
+    # Degrees and adjacency — bit-identical to CSRGraph
+    # ------------------------------------------------------------------
+    def _per_shard(self, vertices: np.ndarray):
+        """Yield ``(shard, mask, local_ids)`` per owning shard, ascending."""
+        shard_ids = np.asarray(self.map.shard_of(vertices))
+        for k in np.unique(shard_ids):
+            mask = shard_ids == k
+            lo, _ = self.map.span(int(k))
+            yield int(k), mask, vertices[mask] - lo
+
+    def degree(self, vertex: int) -> int:
+        shard = int(self.map.shard_of(int(vertex)))
+        offsets, _ = self._arrays(shard)
+        lo, _ = self.map.span(shard)
+        local = int(vertex) - lo
+        return int(offsets[local + 1] - offsets[local])
+
+    def degrees(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        if vertices is None:
+            parts = [
+                np.diff(self._arrays(k)[0]) for k in range(self.map.num_shards)
+            ]
+            return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        out = np.empty(len(vertices), dtype=np.int64)
+        for shard, mask, local in self._per_shard(vertices):
+            offsets, _ = self._arrays(shard)
+            out[mask] = offsets[local + 1] - offsets[local]
+        return out
+
+    def neighbors_of(self, vertex: int) -> np.ndarray:
+        shard = int(self.map.shard_of(int(vertex)))
+        offsets, neighbors = self._arrays(shard)
+        lo, _ = self.map.span(shard)
+        local = int(vertex) - lo
+        return neighbors[offsets[local] : offsets[local + 1]]
+
+    def volume(self, vertices: np.ndarray) -> int:
+        return int(self.degrees(np.asarray(vertices, dtype=np.int64)).sum())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        adjacency = self.neighbors_of(u)
+        position = np.searchsorted(adjacency, v)
+        return bool(position < len(adjacency) and adjacency[position] == v)
+
+    def neighbor_at(self, vertices: np.ndarray, pick: np.ndarray) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
+        pick = np.asarray(pick, dtype=np.int64)
+        out = np.empty(len(vertices), dtype=np.int64)
+        for shard, mask, local in self._per_shard(vertices):
+            offsets, neighbors = self._arrays(shard)
+            out[mask] = neighbors[offsets[local] + pick[mask]]
+        return out
+
+    # ------------------------------------------------------------------
+    # Bulk edge gather — the engine under edgeMap, shard-routed
+    # ------------------------------------------------------------------
+    def gather_edges(self, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Identical output (and recorded work/depth) to
+        :meth:`CSRGraph.gather_edges`: per-vertex slots are computed over
+        the *input order*, then each owning shard fills its vertices' slots
+        in place — the cross-shard case is a scatter, not a reorder."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(vertices) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        degs = self.degrees(vertices)
+        starts, total = exclusive_prefix_sum(degs)
+        total = int(total)
+        record(
+            work=len(vertices) + total,
+            depth=log2ceil(max(total, 1)),
+            category="edge_map",
+        )
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        sources = np.repeat(vertices, degs)
+        targets = np.empty(total, dtype=np.int64)
+        for shard, mask, local in self._per_shard(vertices):
+            offsets, neighbors = self._arrays(shard)
+            degs_k = degs[mask]
+            count = int(degs_k.sum())
+            if count == 0:
+                continue
+            slot = np.arange(count, dtype=np.int64)
+            # Plain cumsum, not the instrumented scan primitive: this is
+            # shard-plane bookkeeping, and the recorded work/depth profile
+            # must stay bit-identical to the unsharded gather.
+            starts_k = np.cumsum(degs_k) - degs_k
+            within = slot - np.repeat(starts_k, degs_k)
+            per_vertex_base = np.repeat(offsets[local], degs_k)
+            positions = np.repeat(starts[mask], degs_k) + within
+            targets[positions] = neighbors[per_vertex_base + within]
+        return sources, targets

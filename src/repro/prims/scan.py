@@ -54,7 +54,8 @@ def exclusive_prefix_sum(values: np.ndarray) -> tuple[np.ndarray, float]:
     (used by filter, the edge gather in ``edge_map`` and the ``Z``-array
     construction in the parallel sweep cut).
 
-    >>> exclusive_prefix_sum(np.array([2, 3, 1]))
+    >>> offsets, total = exclusive_prefix_sum(np.array([2, 3, 1]))
+    >>> offsets, int(total)
     (array([0, 2, 5]), 6)
     """
     array = _as_array(values)

@@ -117,9 +117,13 @@ class DiffusionService:
         The graph every query runs against.
     engine:
         A prebuilt :class:`repro.engine.BatchEngine` (or backend name);
-        ``None`` infers serial/process from ``workers`` exactly like the
-        engine constructor.  ``workers``, ``cache``, ``start_method`` and
-        ``schedule`` follow :func:`repro.engine.resolve_engine`.
+        ``None`` infers serial/process/sharded from ``workers`` and
+        ``shards`` exactly like the engine constructor.  ``workers``,
+        ``cache``, ``start_method``, ``schedule``, ``shards``,
+        ``max_resident_shards`` and ``spill_shards`` follow
+        :func:`repro.engine.resolve_engine` — with ``shards=`` the service
+        executes through the shard-routed backend, so a memory-capped
+        process serves the graph with only each query's shard(s) resident.
     max_batch:
         Most jobs one micro-batch may carry (default 32).  Smaller batches
         mean lower interactive latency under bulk load, at some dispatch
@@ -152,6 +156,9 @@ class DiffusionService:
         cache: "ResultCache | bool | str | None" = None,
         start_method: str | None = None,
         schedule: str | None = None,
+        shards: int | None = None,
+        max_resident_shards: int | None = None,
+        spill_shards: int | None = None,
         max_batch: int = 32,
         max_linger: float = 0.002,
         max_batch_cost: float | None = None,
@@ -171,6 +178,9 @@ class DiffusionService:
             cache=cache,
             start_method=start_method,
             schedule=schedule,
+            shards=shards,
+            max_resident_shards=max_resident_shards,
+            spill_shards=spill_shards,
         )
         self.max_batch = max_batch
         self.max_linger = max_linger

@@ -1,0 +1,228 @@
+"""Tests for shard-routed execution (repro.engine.router).
+
+The contract: ``BatchEngine(graph, shards=K)`` streams outcomes
+bit-identical to the serial backend — for seeds interior to a shard,
+adjacent to a cut, and spanning several shards — while placement groups
+jobs by home shard, the spill threshold escalates non-local jobs to
+whole-graph execution, sessions reuse one sharded export across batches,
+and the cache/serve planes compose with the router unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    BatchEngine,
+    DiffusionJob,
+    ShardRouter,
+    estimate_cost,
+    job_grid,
+    plan_placement,
+    resolve_engine,
+)
+from repro.graph import ShardedCSR, rand_local
+from repro.graph.shared import SEGMENT_PREFIX
+from repro.serve import DiffusionService
+
+PARAMS = {"alpha": 0.05, "eps": 1e-4}
+
+
+def shm_entries():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX host
+        pytest.skip("no /dev/shm to audit on this platform")
+    return [f for f in os.listdir("/dev/shm") if f.startswith(SEGMENT_PREFIX)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rand_local(1200, seed=13)
+
+
+@pytest.fixture(scope="module")
+def jobs(graph):
+    grid = {"alpha": (0.05, 0.01), "eps": (1e-4, 1e-5)}
+    seeds = range(0, graph.num_vertices, 149)
+    return list(job_grid(seeds, "pr-nibble", grid))
+
+
+@pytest.fixture(scope="module")
+def reference(graph, jobs):
+    return BatchEngine(graph).run(jobs)
+
+
+def assert_outcomes_match(reference, outcomes):
+    assert len(reference) == len(outcomes)
+    for expected, outcome in zip(reference, outcomes):
+        assert np.array_equal(expected.cluster, outcome.cluster)
+        assert outcome.conductance == expected.conductance
+        assert outcome.pushes == expected.pushes
+        assert outcome.support_size == expected.support_size
+
+
+class TestRoutedExecution:
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_bit_identical_to_serial_at_any_shard_count(
+        self, graph, jobs, reference, shards
+    ):
+        outcomes = BatchEngine(graph, shards=shards).run(jobs)
+        assert_outcomes_match(reference, outcomes)
+
+    def test_memory_capped_execution_identical(self, graph, jobs, reference):
+        outcomes = BatchEngine(graph, shards=4, max_resident_shards=1).run(jobs)
+        assert_outcomes_match(reference, outcomes)
+
+    def test_cut_adjacent_and_spanning_seeds(self, graph):
+        with ShardedCSR.create(graph, shards=3) as sharded:
+            cuts = sharded.map.boundaries[1:-1]
+        seeds = [int(c) - 1 for c in cuts] + [int(c) for c in cuts]
+        spanning = DiffusionJob.make(seeds, params=dict(PARAMS))
+        singles = [DiffusionJob.make(s, params=dict(PARAMS)) for s in seeds]
+        batch = [spanning, *singles]
+        expected = BatchEngine(graph).run(batch)
+        outcomes = BatchEngine(graph, shards=3).run(batch)
+        assert_outcomes_match(expected, outcomes)
+
+    def test_spill_fallback_is_identical_and_counted(self, graph, jobs, reference):
+        engine = BatchEngine(graph, shards=8, spill_shards=1)
+        session = engine.open_session()
+        try:
+            outcomes = list(session.run(jobs))
+            assert_outcomes_match(reference, outcomes)
+            assert session.stats.spills > 0  # the fallback path really ran
+            assert session.stats.jobs == len(jobs)
+        finally:
+            session.close()
+
+    def test_rand_hk_pr_routes_deterministically(self, graph):
+        batch = [
+            DiffusionJob.make(s, method="rand-hk-pr", params={"num_walks": 300}, rng=s)
+            for s in (3, 700, 1100)
+        ]
+        expected = BatchEngine(graph).run(batch)
+        outcomes = BatchEngine(graph, shards=4).run(batch)
+        assert_outcomes_match(expected, outcomes)
+
+    def test_empty_batch(self, graph):
+        assert BatchEngine(graph, shards=3).run([]) == []
+
+
+class TestPlacement:
+    def test_groups_cover_batch_exactly_once(self, graph, jobs):
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            placement = plan_placement(jobs, sharded)
+        indices = sorted(i for _, members in placement for i, _ in members)
+        assert indices == list(range(len(jobs)))
+
+    def test_heaviest_group_first(self, graph, jobs):
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            placement = plan_placement(jobs, sharded)
+        loads = [
+            sum(estimate_cost(job) for _, job in members) for _, members in placement
+        ]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_home_of_spanning_seed_set(self, graph):
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            lo0, _ = sharded.map.span(0)
+            lo2, _ = sharded.map.span(2)
+            job = DiffusionJob.make([lo0, lo2], params=dict(PARAMS))
+            placement = plan_placement([job], sharded)
+        assert placement[0][0] == (0, 2)
+
+
+class TestSessions:
+    def test_one_export_serves_consecutive_batches(self, graph, jobs, reference):
+        engine = BatchEngine(graph, shards=3)
+        session = engine.open_session()
+        try:
+            names = set(session.sharded.segment_names())
+            assert names <= set(shm_entries())
+            first = list(session.run(jobs[:4]))
+            second = list(session.run(jobs[4:8]))
+            assert set(session.sharded.segment_names()) == names  # no re-export
+            assert_outcomes_match(reference[:4], first)
+            assert_outcomes_match(reference[4:8], second)
+            assert session.batches == 2
+        finally:
+            session.close()
+        assert shm_entries() == []
+
+    def test_abandoned_stream_tears_down_export(self, graph, jobs):
+        engine = BatchEngine(graph, shards=3)
+        iterator = engine.map(jobs)
+        next(iterator)
+        assert len(shm_entries()) == 6
+        iterator.close()
+        assert shm_entries() == []
+
+    def test_closed_session_rejects_runs(self, graph):
+        session = BatchEngine(graph, shards=2).open_session()
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.run([DiffusionJob.make(0)])
+
+
+class TestConfiguration:
+    def test_backend_name_and_inference(self, graph):
+        assert isinstance(BatchEngine(graph, shards=2).backend, ShardRouter)
+        assert isinstance(BatchEngine(graph, backend="sharded").backend, ShardRouter)
+        router = BatchEngine(graph, backend="sharded", shards=5).backend
+        assert router.shards == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 2, "workers": 4},
+            {"shards": 2, "start_method": "spawn"},
+            {"shards": 2, "schedule": "fifo"},
+            {"backend": "serial", "max_resident_shards": 1},
+            {"backend": "process", "shards": 2},
+        ],
+    )
+    def test_conflicting_knobs_raise(self, graph, kwargs):
+        with pytest.raises(ValueError):
+            BatchEngine(graph, **kwargs)
+
+    def test_backend_instance_conflicts(self, graph):
+        with pytest.raises(ValueError):
+            BatchEngine(graph, backend=ShardRouter(shards=2), shards=4)
+
+    def test_resolve_engine_prebuilt_conflicts(self, graph):
+        engine = BatchEngine(graph, shards=2)
+        assert resolve_engine(graph, engine) is engine
+        with pytest.raises(ValueError):
+            resolve_engine(graph, engine, shards=4)
+        with pytest.raises(ValueError):
+            resolve_engine(graph, engine, max_resident_shards=1)
+
+    def test_resolve_engine_builds_router(self, graph):
+        engine = resolve_engine(graph, shards=3, max_resident_shards=2)
+        assert isinstance(engine.backend, ShardRouter)
+        assert engine.backend.max_resident_shards == 2
+
+
+class TestComposition:
+    def test_cache_replays_over_router(self, graph, jobs, reference):
+        engine = BatchEngine(graph, shards=3, cache=True)
+        first = engine.run(jobs[:20])
+        again = engine.run(jobs[:20])
+        assert all(outcome.cached for outcome in again)
+        assert_outcomes_match(reference[:20], first)
+        assert_outcomes_match(reference[:20], again)
+
+    def test_service_over_router(self, graph, jobs, reference):
+        async def scenario():
+            async with DiffusionService(
+                graph, shards=4, max_resident_shards=2, max_batch=4
+            ) as service:
+                futures = service.submit_many(jobs[:12], priority="bulk")
+                return await asyncio.gather(*futures)
+
+        outcomes = asyncio.run(scenario())
+        assert_outcomes_match(reference[:12], outcomes)
+        assert shm_entries() == []

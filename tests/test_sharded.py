@@ -1,0 +1,373 @@
+"""Tests for the sharded graph plane (repro.graph.sharded).
+
+The contract under test: a :class:`ShardedCSR` partitions the CSR into
+contiguous vertex-range shards whose lazily attaching
+:class:`ShardedGraphView` answers every graph read — and therefore every
+diffusion + sweep — **bit-identically** to the unsharded graph, including
+the recorded work-depth profile; residency caps and spill thresholds
+change memory behaviour, never results; and shard segments never leak
+(the same ``/dev/shm`` audit the PR-3 graph plane is held to).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import DiffusionJob
+from repro.engine.executor import run_job
+from repro.graph import (
+    CSRGraph,
+    ShardedCSR,
+    ShardSpill,
+    barbell_graph,
+    rand_local,
+    star_graph,
+)
+from repro.graph.sharded import ShardMap, plan_boundaries
+from repro.graph.shared import SEGMENT_PREFIX
+
+
+def shm_entries():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-POSIX host
+        pytest.skip("no /dev/shm to audit on this platform")
+    return [f for f in os.listdir("/dev/shm") if f.startswith(SEGMENT_PREFIX)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rand_local(1500, seed=9)
+
+
+def assert_outcome_identical(a, b):
+    assert np.array_equal(a.cluster, b.cluster)
+    assert a.conductance == b.conductance
+    assert a.pushes == b.pushes
+    assert a.iterations == b.iterations
+    assert a.support_size == b.support_size
+    assert a.work == b.work and a.depth == b.depth
+    assert np.array_equal(a.vector_keys, b.vector_keys)
+    assert np.array_equal(a.vector_values, b.vector_values)
+
+
+class TestPlanBoundaries:
+    def test_boundaries_cover_vertex_range(self, graph):
+        bounds = plan_boundaries(graph.offsets, 4)
+        assert bounds[0] == 0 and bounds[-1] == graph.num_vertices
+        assert len(bounds) == 5
+        assert all(b1 <= b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_shards_are_volume_balanced(self, graph):
+        bounds = plan_boundaries(graph.offsets, 4)
+        volumes = [
+            int(graph.offsets[hi] - graph.offsets[lo])
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        mean = graph.total_volume / 4
+        # linspace cuts land within one vertex's degree of the ideal split
+        assert max(volumes) <= 2 * mean
+
+    def test_more_shards_than_vertices_clamps(self):
+        tiny = barbell_graph(3)  # n = 6
+        bounds = plan_boundaries(tiny.offsets, 100)
+        assert bounds[-1] == tiny.num_vertices
+        assert len(bounds) <= tiny.num_vertices + 1
+
+    def test_single_shard_is_whole_graph(self, graph):
+        assert plan_boundaries(graph.offsets, 1) == (0, graph.num_vertices)
+
+
+class TestShardMap:
+    def test_shard_of_routes_every_vertex(self, graph):
+        sharded_map = ShardMap(plan_boundaries(graph.offsets, 5))
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+        owners = sharded_map.shard_of(vertices)
+        for k in range(sharded_map.num_shards):
+            lo, hi = sharded_map.span(k)
+            assert np.all(owners[lo:hi] == k)
+
+    def test_scalar_and_vector_agree(self, graph):
+        sharded_map = ShardMap(plan_boundaries(graph.offsets, 3))
+        for v in (0, 1, graph.num_vertices - 1, graph.num_vertices // 2):
+            assert sharded_map.shard_of(v) == int(
+                sharded_map.shard_of(np.asarray([v]))[0]
+            )
+
+    def test_shards_of_seed_sets(self, graph):
+        sharded_map = ShardMap(plan_boundaries(graph.offsets, 4))
+        lo, hi = sharded_map.span(2)
+        assert sharded_map.shards_of([lo]) == (2,)
+        assert sharded_map.shards_of([0, lo, graph.num_vertices - 1]) == (
+            0,
+            2,
+            sharded_map.num_shards - 1,
+        )
+        assert sharded_map.shards_of([]) == ()
+
+
+class TestViewReads:
+    """Every read the algorithms perform, view vs unsharded graph."""
+
+    def test_degrees_neighbors_gather(self, graph):
+        rng = np.random.default_rng(3)
+        vertices = rng.integers(0, graph.num_vertices, 400).astype(np.int64)
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view() as view:
+                assert view.num_vertices == graph.num_vertices
+                assert view.num_edges == graph.num_edges
+                assert view.total_volume == graph.total_volume
+                assert view.fingerprint() == graph.fingerprint()
+                assert np.array_equal(view.degrees(vertices), graph.degrees(vertices))
+                assert np.array_equal(view.degrees(), graph.degrees())
+                assert view.volume(vertices) == graph.volume(vertices)
+                sources, targets = view.gather_edges(vertices)
+                ref_sources, ref_targets = graph.gather_edges(vertices)
+                assert np.array_equal(sources, ref_sources)
+                assert np.array_equal(targets, ref_targets)
+                for v in vertices[:25].tolist():
+                    assert np.array_equal(view.neighbors_of(v), graph.neighbors_of(v))
+                    assert view.degree(v) == graph.degree(v)
+
+    def test_neighbor_at_and_has_edge(self, graph):
+        rng = np.random.default_rng(4)
+        vertices = rng.integers(0, graph.num_vertices, 200).astype(np.int64)
+        degrees = graph.degrees(vertices)
+        keep = degrees > 0
+        vertices, degrees = vertices[keep], degrees[keep]
+        pick = (rng.random(len(vertices)) * degrees).astype(np.int64)
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view() as view:
+                assert np.array_equal(
+                    view.neighbor_at(vertices, pick), graph.neighbor_at(vertices, pick)
+                )
+                for v in vertices[:10].tolist():
+                    w = int(graph.neighbors_of(v)[0])
+                    assert view.has_edge(v, w) and graph.has_edge(v, w)
+                    assert view.has_edge(v, v) == graph.has_edge(v, v)
+
+    def test_empty_inputs(self, graph):
+        with ShardedCSR.create(graph, shards=3) as sharded:
+            with sharded.view() as view:
+                none = np.empty(0, dtype=np.int64)
+                assert np.array_equal(view.degrees(none), graph.degrees(none))
+                sources, targets = view.gather_edges(none)
+                assert len(sources) == 0 and len(targets) == 0
+
+    def test_star_graph_with_empty_shards(self):
+        """A degree-skewed graph can produce empty shards; routing and
+        reads must still be exact."""
+        star = star_graph(64)
+        with ShardedCSR.create(star, shards=8) as sharded:
+            with sharded.view() as view:
+                everything = np.arange(star.num_vertices, dtype=np.int64)
+                assert np.array_equal(view.degrees(everything), star.degrees(everything))
+                sources, targets = view.gather_edges(everything)
+                ref = star.gather_edges(everything)
+                assert np.array_equal(sources, ref[0])
+                assert np.array_equal(targets, ref[1])
+
+
+class TestJobEquivalence:
+    @pytest.mark.parametrize(
+        "method,params",
+        [
+            ("pr-nibble", {"eps": 1e-5}),
+            ("nibble", {}),
+            ("hk-pr", {}),
+            ("rand-hk-pr", {"num_walks": 400}),
+        ],
+    )
+    def test_all_methods_bit_identical(self, graph, method, params):
+        job = DiffusionJob.make(11, method=method, params=params, rng=5)
+        reference = run_job(graph, job)
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view() as view:
+                outcome = run_job(view, job)
+        assert_outcome_identical(reference, outcome)
+
+    def test_eviction_under_max_resident_is_exact(self, graph):
+        job = DiffusionJob.make(7, params={"alpha": 0.01, "eps": 1e-6})
+        reference = run_job(graph, job)
+        with ShardedCSR.create(graph, shards=6) as sharded:
+            with sharded.view(max_resident=1) as view:
+                outcome = run_job(view, job)
+                assert view.resident_shards <= 1
+                assert view.detaches > 0  # the cap actually bit
+        assert_outcome_identical(reference, outcome)
+
+
+class TestShardBoundaryProperty:
+    """The ISSUE's acceptance property: seeds adjacent to a shard cut."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=60, max_value=400),
+        graph_seed=st.integers(min_value=0, max_value=2**16),
+        eps=st.sampled_from([1e-3, 1e-4, 1e-5]),
+    )
+    def test_cut_adjacent_seeds_bit_identical(self, n, graph_seed, eps):
+        graph = rand_local(n, seed=graph_seed)
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            cut = sharded.map.boundaries[1]
+            # Seeds adjacent to the cut: the last vertex of shard 0 and the
+            # first of shard 1, plus a vertex with a genuinely crossing
+            # edge when one exists — pushes from these leave their home
+            # shard in the first wave.
+            seeds = {max(cut - 1, 0), min(cut, n - 1)}
+            sources, targets = graph.gather_edges(np.arange(n, dtype=np.int64))
+            crossing = sources[(sources < cut) & (targets >= cut)]
+            if len(crossing):
+                seeds.add(int(crossing[0]))
+            for seed in sorted(seeds):
+                job = DiffusionJob.make(seed, params={"alpha": 0.05, "eps": eps})
+                reference = run_job(graph, job)
+                with sharded.view() as view:
+                    outcome = run_job(view, job)
+                assert_outcome_identical(reference, outcome)
+
+
+class TestSpill:
+    def test_spill_raises_when_job_crosses_threshold(self, graph):
+        with ShardedCSR.create(graph, shards=6) as sharded:
+            with sharded.view(spill_shards=1) as view:
+                # An expensive diffusion from a cut-adjacent seed must
+                # touch a second shard and trip the threshold.
+                cut = sharded.map.boundaries[1]
+                job = DiffusionJob.make(cut - 1, params={"alpha": 0.005, "eps": 1e-7})
+                with pytest.raises(ShardSpill):
+                    run_job(view, job)
+
+    def test_reset_spill_scopes_accounting_per_job(self, graph):
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view(spill_shards=2) as view:
+                view.degrees(np.asarray([0]))
+                view.degrees(np.asarray([graph.num_vertices - 1]))
+                with pytest.raises(ShardSpill):
+                    view.degrees(np.asarray([sharded.map.boundaries[2]]))
+                view.reset_spill()
+                # a fresh scope re-admits resident shards without spilling
+                view.degrees(np.asarray([0, graph.num_vertices - 1]))
+
+    def test_spill_budget_is_independent_of_residency(self, graph):
+        """A job's spill budget counts ITS shards, not what earlier jobs
+        left resident — with no residency cap, shards accumulate, and a
+        later single-shard job must not inherit the batch's footprint."""
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view(spill_shards=2) as view:
+                view.degrees(np.asarray([0]))                        # shard 0
+                view.degrees(np.asarray([graph.num_vertices - 1]))   # shard 3
+                assert view.resident_shards == 2
+                view.reset_spill()
+                # single-shard job: footprint 1 <= 2, must not spill even
+                # though two shards from the previous job are resident
+                view.degrees(np.asarray([sharded.map.boundaries[2]]))  # shard 2
+
+    def test_validation(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            with pytest.raises(ValueError):
+                sharded.view(max_resident=0)
+            with pytest.raises(ValueError):
+                sharded.view(spill_shards=0)
+        with pytest.raises(ValueError):
+            from repro.engine import ShardRouter
+
+            ShardRouter(shards=0)
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks_every_shard(self, graph):
+        with ShardedCSR.create(graph, shards=3) as sharded:
+            assert len(shm_entries()) == 6  # offsets + neighbors per shard
+            assert len(sharded.segment_names()) == 6
+        assert shm_entries() == []
+
+    def test_lazy_views_never_leak_segments(self, graph):
+        """The ISSUE's audit: lazily attached shard segments are names the
+        *owner* holds; views attach and close mappings only."""
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            before = sorted(shm_entries())
+            with sharded.view(max_resident=2) as view:
+                view.degrees()  # attach (and evict) across all shards
+                assert sorted(shm_entries()) == before  # no new names
+            assert sorted(shm_entries()) == before
+        assert shm_entries() == []
+
+    def test_abandoned_view_cannot_pin_names(self, graph):
+        sharded = ShardedCSR.create(graph, shards=2)
+        view = sharded.view()
+        view.degrees(np.asarray([0]))
+        sharded.unlink()  # owner tears down while the view is still open
+        assert shm_entries() == []
+        view.close()
+
+    def test_unlink_is_idempotent(self, graph):
+        sharded = ShardedCSR.create(graph, shards=2)
+        sharded.unlink()
+        sharded.unlink()
+        assert shm_entries() == []
+
+    def test_closed_view_rejects_reads(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            view = sharded.view()
+            view.close()
+            with pytest.raises(RuntimeError):
+                view.degrees(np.asarray([0]))
+
+    def test_handle_is_picklable_and_attaches_in_place(self, graph):
+        import pickle
+
+        with ShardedCSR.create(graph, shards=3) as sharded:
+            payload = pickle.dumps(sharded.handle())
+            assert len(payload) < 4096
+            handle = pickle.loads(payload)
+            from repro.graph import ShardedGraphView
+
+            with ShardedGraphView(handle) as view:
+                assert np.array_equal(view.degrees(), graph.degrees())
+
+    def test_failed_create_cleans_up(self, monkeypatch):
+        """If exporting shard k fails, shards 0..k-1 are unlinked."""
+        from repro.graph import shared as shared_module
+
+        graph = rand_local(300, seed=1)
+        original = shared_module.SharedCSR.create.__func__
+        calls = {"n": 0}
+
+        def failing(cls, piece):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise OSError("simulated shm exhaustion")
+            return original(cls, piece)
+
+        monkeypatch.setattr(
+            shared_module.SharedCSR, "create", classmethod(failing)
+        )
+        with pytest.raises(OSError):
+            ShardedCSR.create(graph, shards=4)
+        monkeypatch.undo()
+        assert shm_entries() == []
+
+
+class TestShardPieces:
+    def test_pieces_store_global_neighbor_ids(self, graph):
+        """The exactness mechanism: shard-local offsets, global targets."""
+        with ShardedCSR.create(graph, shards=3) as sharded:
+            handle = sharded.handle()
+            lo, hi = sharded.map.span(1)
+            attached = CSRGraph.attach(handle.shards[1])
+            try:
+                piece = attached.graph
+                assert len(piece.offsets) == hi - lo + 1
+                assert piece.offsets[0] == 0
+                span = graph.offsets[hi] - graph.offsets[lo]
+                assert piece.offsets[-1] == span
+                assert np.array_equal(
+                    piece.neighbors,
+                    graph.neighbors[graph.offsets[lo] : graph.offsets[hi]],
+                )
+            finally:
+                attached.close()

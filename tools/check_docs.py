@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Link and anchor checker for the markdown doc set.
+
+Walks every markdown link in README.md and docs/*.md and fails when:
+
+* a relative link points at a file that does not exist;
+* a ``#fragment`` names a heading anchor that does not resolve in the
+  target file (GitHub's slug rules: lowercase, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates).
+
+External links (http/https/mailto) are deliberately not fetched — CI
+must not fail on someone else's outage.  Run from anywhere:
+
+    python tools/check_docs.py            # check the repo's doc set
+    python tools/check_docs.py FILE...    # check specific files
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link).  Used by the CI ``docs`` job and wrapped by
+``tests/test_docs.py`` so tier-1 catches stale anchors too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: files whose links are checked by default (the documentation set).
+DEFAULT_FILES = ("README.md", "docs")
+
+#: ``[text](target)`` — good enough for this doc set: no reference-style
+#: links, no nested brackets, no titles.  Images (``![...]``) match too.
+LINK_PATTERN = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (sans duplicate suffix)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)        # drop code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(markdown: str) -> set[str]:
+    """Every heading anchor the file exposes, with ``-N`` duplicates."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in markdown.splitlines():
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def iter_links(markdown: str):
+    """Yield link targets outside fenced code blocks."""
+    in_fence = False
+    for line in markdown.splitlines():
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    errors: list[str] = []
+    markdown = path.read_text(encoding="utf-8")
+    for target in iter_links(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        location, _, fragment = target.partition("#")
+        if location:
+            resolved = (path.parent / location).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix != ".md":
+                continue  # anchors into non-markdown files are not ours
+            anchors = collect_anchors(resolved.read_text(encoding="utf-8"))
+            if fragment not in anchors:
+                errors.append(f"{path}: stale anchor -> {target}")
+    return errors
+
+
+def gather_default_files() -> list[Path]:
+    files: list[Path] = []
+    for entry in DEFAULT_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv] if argv else gather_default_files()
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        errors.extend(check_file(path))
+        checked += 1
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"{len(errors)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {checked} file(s), every link and anchor resolves")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
