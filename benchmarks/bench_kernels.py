@@ -1,0 +1,194 @@
+"""Compiled kernel plane — single-thread hot-loop throughput vs Python.
+
+The kernel plane's acceptance number: the compiled PR-Nibble push loop
+runs the *same* diffusion (bit-identical p/r vectors, pushes, sweep) at
+>= 10x the Python reference's single-thread throughput.  Three timed
+scenarios per available kernel, all sequential (``parallel=False`` where
+the knob applies) so the comparison is loop implementation and nothing
+else:
+
+* **pr-nibble** — the queue-based push loop, the paper's workhorse, at a
+  Table-3-style tight eps (the regime where the loop dominates and the
+  per-call overhead of either implementation vanishes);
+* **sweep** — the incremental sweep-cut membership scan over the
+  diffusion's support;
+* **rand-hk-pr** — the vectorised walk step loop (filter + gather).
+
+Results: ``results/bench_kernels.csv`` + ``BENCH_kernels.json`` with the
+headline ``pr_nibble_speedup`` per compiled kernel.  Outside smoke mode
+the >= 10x criterion is asserted (at smoke scale the shrunken proxies
+leave too few pushes for the ratio to stabilise).  Warm-up (JIT/compile)
+is paid before any clock starts — the same steady-state rule the
+executor's ``warmup_seconds`` accounting enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.bench import format_seconds, format_table, write_csv
+from repro.core import PRNibbleParams, RandHKPRParams, pr_nibble, rand_hk_pr, sweep_cut
+from repro.core.result import vector_items
+from repro.kernels import available_kernels, ensure_warm
+
+GRAPH = "Twitter"  # largest-volume proxy: longest push queues
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+NUM_SEEDS = 2 if SMOKE else 8
+PR_PARAMS = PRNibbleParams(alpha=0.01, eps=1e-4 if SMOKE else 3e-7)
+WALK_PARAMS = RandHKPRParams(
+    t=10.0, max_walk_length=10, num_walks=2_000 if SMOKE else 200_000
+)
+MIN_SPEEDUP = 10.0
+
+
+def bench_seeds(graph):
+    """High-degree seeds spread across the vertex range: long pushes, no
+    degenerate single-vertex supports."""
+    degrees = graph.degrees()
+    order = np.argsort(-degrees)[: NUM_SEEDS * 50]
+    return np.sort(order[:: max(1, len(order) // NUM_SEEDS)][:NUM_SEEDS])
+
+
+def time_kernel(kernel, graph, seeds):
+    """One timed pass per scenario; returns (seconds, checksums) maps."""
+    ensure_warm(kernel)  # JIT/compile outside every clock
+    seconds = {}
+    checks = {}
+
+    start = time.perf_counter()
+    results = [
+        pr_nibble(graph, int(s), PR_PARAMS, parallel=False, kernel=kernel)
+        for s in seeds
+    ]
+    seconds["pr_nibble"] = time.perf_counter() - start
+    checks["pushes"] = sum(r.pushes for r in results)
+    checks["p_digest"] = [
+        (int(keys[0]), float(values.sum()))
+        for keys, values in (vector_items(r.vector) for r in results)
+    ]
+
+    start = time.perf_counter()
+    sweeps = [
+        sweep_cut(graph, r.vector, parallel=False, kernel=kernel) for r in results
+    ]
+    seconds["sweep"] = time.perf_counter() - start
+    checks["sweep"] = [
+        (int(s.volumes[-1]), int(s.cuts[-1]), s.best_index) for s in sweeps
+    ]
+
+    start = time.perf_counter()
+    walks = rand_hk_pr(
+        graph, int(seeds[0]), WALK_PARAMS, parallel=True, rng=7, kernel=kernel
+    )
+    seconds["rand_hk_pr"] = time.perf_counter() - start
+    checks["walk"] = sorted(walks.vector.to_dict().items())
+    return seconds, checks
+
+
+def test_kernel_throughput(benchmark, graphs):
+    graph = graphs[GRAPH]
+    seeds = bench_seeds(graph)
+    kernels = available_kernels()
+
+    def measure():
+        return {kernel: time_kernel(kernel, graph, seeds) for kernel in kernels}
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # Differential gate first: a fast wrong kernel is not a result.
+    _, reference = runs["python"]
+    for kernel in kernels:
+        _, checks = runs[kernel]
+        assert checks == reference, f"kernel {kernel!r} diverged from python"
+
+    pushes = reference["pushes"]
+
+    headers = ["kernel", "pr-nibble", "pushes/s", "speedup", "sweep", "rand-hk-pr"]
+    rows = []
+    csv_rows = []
+    py_seconds = runs["python"][0]
+    speedups = {}
+    for kernel in kernels:
+        seconds = runs[kernel][0]
+        speedups[kernel] = py_seconds["pr_nibble"] / seconds["pr_nibble"]
+        rows.append(
+            [
+                kernel,
+                format_seconds(seconds["pr_nibble"]),
+                f"{pushes / seconds['pr_nibble']:.3g}",
+                f"{speedups[kernel]:.1f}x",
+                format_seconds(seconds["sweep"]),
+                format_seconds(seconds["rand_hk_pr"]),
+            ]
+        )
+        csv_rows.append(
+            [
+                kernel,
+                seconds["pr_nibble"],
+                pushes / seconds["pr_nibble"],
+                speedups[kernel],
+                seconds["sweep"],
+                seconds["rand_hk_pr"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=f"Kernel throughput: {GRAPH} proxy, {len(seeds)} seeds, "
+            f"alpha={PR_PARAMS.alpha} eps={PR_PARAMS.eps}, {pushes} pushes, "
+            "sequential (single thread)",
+        )
+    )
+    write_csv(
+        "bench_kernels",
+        [
+            "kernel",
+            "pr_nibble_seconds",
+            "pushes_per_second",
+            "pr_nibble_speedup",
+            "sweep_seconds",
+            "rand_hk_pr_seconds",
+        ],
+        csv_rows,
+    )
+    summary = {
+        "graph": GRAPH,
+        "seeds": len(seeds),
+        "alpha": PR_PARAMS.alpha,
+        "eps": PR_PARAMS.eps,
+        "pushes": pushes,
+        "smoke": SMOKE,
+        "kernels": {
+            kernel: {
+                "pr_nibble_seconds": runs[kernel][0]["pr_nibble"],
+                "pushes_per_second": pushes / runs[kernel][0]["pr_nibble"],
+                "pr_nibble_speedup": speedups[kernel],
+                "sweep_seconds": runs[kernel][0]["sweep"],
+                "rand_hk_pr_seconds": runs[kernel][0]["rand_hk_pr"],
+            }
+            for kernel in kernels
+        },
+    }
+    pathlib.Path("BENCH_kernels.json").write_text(json.dumps(summary, indent=2))
+    print(json.dumps(summary, indent=2))
+
+    # The acceptance criterion: >= 10x single-thread push throughput from
+    # every compiled kernel, at full bench scale only (smoke's loose eps
+    # leaves so few pushes that constant overheads dominate the ratio).
+    compiled = [kernel for kernel in kernels if kernel != "python"]
+    if not SMOKE:
+        assert compiled, "no compiled kernel available to measure"
+        for kernel in compiled:
+            assert speedups[kernel] >= MIN_SPEEDUP, (
+                f"{kernel} speedup {speedups[kernel]:.1f}x < {MIN_SPEEDUP}x "
+                f"({py_seconds['pr_nibble']:.3f}s python vs "
+                f"{runs[kernel][0]['pr_nibble']:.3f}s {kernel})"
+            )

@@ -31,6 +31,10 @@ Subpackages
 ``repro.graph``
     CSR graphs, builders, generators, IO, Table-2 proxy registry, the
     shared-memory export plane and the sharded (partitioned) plane.
+``repro.kernels``
+    Compiled kernel plane: numba- and C-compiled twins of the hot
+    diffusion loops, selected by the ``kernel=`` knob, bit-identical to
+    the Python reference.
 ``repro.ligra``
     vertexSubset / vertexMap / edgeMap local-processing layer.
 ``repro.prims``
@@ -43,7 +47,7 @@ Subpackages
     pool, interactive jobs drained ahead of bulk backlogs.
 """
 
-from . import bench, cache, core, engine, graph, ligra, prims, runtime, serve
+from . import bench, cache, core, engine, graph, kernels, ligra, prims, runtime, serve
 from .cache import CacheStats, CachingBackend, ResultCache
 from .core import (
     ALGORITHMS,
@@ -83,6 +87,7 @@ __all__ = [
     "core",
     "engine",
     "graph",
+    "kernels",
     "ligra",
     "prims",
     "runtime",

@@ -21,6 +21,11 @@ the result:
 * **Tag** — deliberately excluded: a job's free-form ``tag`` annotates the
   outcome but never influences it, and the caching backend re-attaches
   the requesting job's own tag on every hit.
+* **Kernel** — deliberately excluded, like ``tag``: the compiled kernels
+  (:mod:`repro.kernels`) replicate the Python loops' floating-point
+  operation order exactly, so outcomes are bit-identical across
+  ``kernel`` settings and an entry written under one kernel must replay
+  under any other (asserted by the cross-kernel differential suite).
 
 ``parallel`` and the vector-retention flag *are* part of the key: the
 sequential and bulk-synchronous implementations may order float reductions

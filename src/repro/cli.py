@@ -24,7 +24,11 @@ Commands
     object per input line (``{"seeds": 5, "method": "pr-nibble",
     "params": {"eps": 1e-5}}``), one result object per output line, in
     request order.  Requests micro-batch onto one long-lived worker pool;
-    ``"priority": "bulk"`` queues behind interactive requests.
+    ``"priority": "bulk"`` queues behind interactive requests, and a
+    ``"kernel"`` field overrides the loop implementation per request.
+``kernels``
+    Show which loop implementations (:mod:`repro.kernels`) are available
+    in this environment and what ``--kernel auto`` resolves to.
 
 ``ncp`` and ``batch`` accept ``--cache`` (memoise job outcomes in memory
 for the run — overlapping grids coalesce) and ``--cache-dir DIR``
@@ -37,6 +41,12 @@ each job routes to the shard(s) owning its seeds, and shards attach
 lazily as diffusions cross boundaries) plus ``--max-resident-shards``
 (bound resident graph memory) and ``--spill-shards`` (whole-graph
 fallback threshold).
+
+``cluster``, ``ncp``, ``batch`` and ``serve`` accept ``--kernel``
+(``auto``/``python``/``numba``/``c``): the loop implementation for the
+hot diffusion paths.  Results are bit-identical across kernels — the
+flag only changes speed; ``auto`` picks the fastest available and
+silently falls back to Python.
 """
 
 from __future__ import annotations
@@ -142,9 +152,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     if args.profile:
         with track() as tracker:
-            result = local_cluster(graph, seed, method=args.method, rng=args.rng, **overrides)
+            result = local_cluster(
+                graph, seed, method=args.method, rng=args.rng, kernel=args.kernel, **overrides
+            )
     else:
-        result = local_cluster(graph, seed, method=args.method, rng=args.rng, **overrides)
+        result = local_cluster(
+            graph, seed, method=args.method, rng=args.rng, kernel=args.kernel, **overrides
+        )
 
     stats = cluster_stats(graph, result.cluster)
     print(f"graph: {graph!r}   seed: {seed}   method: {args.method}")
@@ -181,6 +195,7 @@ def _cmd_ncp(args: argparse.Namespace) -> int:
         cache=cache,
         start_method=args.start_method,
         schedule=args.schedule,
+        kernel=args.kernel,
     )
     sizes, phis = profile.series()
     out = Path(args.output)
@@ -233,6 +248,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             spill_shards=args.spill_shards,
             include_vectors=False,
             cache=cache,
+            kernel=args.kernel,
         )
     else:
         engine = BatchEngine(
@@ -243,6 +259,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache=cache,
             start_method=args.start_method,
             schedule=args.schedule,
+            kernel=args.kernel,
         )
     # Stream outcomes straight to CSV so a large batch never lives in memory.
     stats_reducer = StatsReducer()
@@ -311,6 +328,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_resident_shards=args.max_resident_shards,
         spill_shards=args.spill_shards,
+        kernel=args.kernel,
         max_batch=args.max_batch,
         max_linger=args.max_linger / 1000.0,
         max_batch_cost=args.max_batch_cost,
@@ -371,6 +389,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         method=request.get("method", args.method),
                         params=request.get("params", {}),
                         rng=int(request.get("rng", 0)),
+                        kernel=request.get("kernel"),
                     )
                     future = service.submit(
                         job, priority=request.get("priority", "interactive")
@@ -389,6 +408,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(_loop())
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from .kernels import KERNELS, available_kernels, resolve_kernel
+
+    ready = available_kernels()
+    for name in KERNELS:
+        status = "available" if name in ready else "unavailable"
+        print(f"{name:<8} {status}")
+    print(f"auto -> {resolve_kernel('auto')}")
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -444,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the work-depth profile and simulated paper-machine times",
     )
+    _add_kernel_flag(cluster)
     cluster.set_defaults(run=_cmd_cluster)
 
     ncp = commands.add_parser("ncp", help="generate a network community profile CSV")
@@ -460,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers for the batch engine (1 = serial)",
     )
     _add_pool_flags(ncp)
+    _add_kernel_flag(ncp)
     _add_cache_flags(ncp)
     ncp.set_defaults(run=_cmd_ncp)
 
@@ -500,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--rng", type=int, default=0)
     _add_pool_flags(batch)
     _add_shard_flags(batch)
+    _add_kernel_flag(batch)
     _add_cache_flags(batch)
     batch.set_defaults(run=_cmd_batch)
 
@@ -540,8 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_flags(serve)
     _add_shard_flags(serve)
+    _add_kernel_flag(serve)
     _add_cache_flags(serve)
     serve.set_defaults(run=_cmd_serve)
+
+    kernels = commands.add_parser(
+        "kernels", help="show which loop implementations are available"
+    )
+    kernels.set_defaults(run=_cmd_kernels)
 
     cache = commands.add_parser(
         "cache", help="inspect or clear an on-disk result cache directory"
@@ -571,6 +610,18 @@ def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
         help="chunking policy: 'cost' packs cost-balanced, longest-first "
         "chunks from the O(1/(eps*alpha))-style work bounds (default); "
         "'fifo' uses contiguous count-based chunks",
+    )
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=["auto", "python", "numba", "c"],
+        default=None,
+        metavar="KERNEL",
+        help="loop implementation for the hot diffusion paths (auto, python, "
+        "numba, c).  Results are bit-identical across kernels; 'auto' picks "
+        "the fastest available and falls back to python (default: python)",
     )
 
 

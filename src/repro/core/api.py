@@ -54,6 +54,7 @@ def local_cluster(
     method: str = "pr-nibble",
     parallel: bool = True,
     rng: np.random.Generator | int = 0,
+    kernel: str | None = None,
     **param_overrides: Any,
 ) -> ClusterResult:
     """Find a local cluster around ``seeds``: diffusion + sweep cut.
@@ -73,6 +74,11 @@ def local_cluster(
     rng:
         Randomness for ``rand-hk-pr`` (ignored by the deterministic
         methods).
+    kernel:
+        Loop implementation for the hot paths (:mod:`repro.kernels`):
+        ``None``/``"python"`` (default), ``"numba"``, ``"c"``, or
+        ``"auto"`` for the best available with graceful fallback.
+        Results are bit-identical across kernels.
     **param_overrides:
         Fields of the method's parameter dataclass, e.g.
         ``alpha=0.01, eps=1e-6`` for PR-Nibble or
@@ -83,10 +89,12 @@ def local_cluster(
     params_cls, runner, takes_rng = ALGORITHMS[method]
     params = params_cls(**param_overrides)
     if takes_rng:
-        diffusion: DiffusionResult = runner(graph, seeds, params, parallel=parallel, rng=rng)
+        diffusion: DiffusionResult = runner(
+            graph, seeds, params, parallel=parallel, rng=rng, kernel=kernel
+        )
     else:
-        diffusion = runner(graph, seeds, params, parallel=parallel)
-    sweep = sweep_cut(graph, diffusion.vector, parallel=parallel)
+        diffusion = runner(graph, seeds, params, parallel=parallel, kernel=kernel)
+    sweep = sweep_cut(graph, diffusion.vector, parallel=parallel, kernel=kernel)
     return ClusterResult(
         cluster=np.sort(sweep.best_cluster),
         conductance=sweep.best_conductance,
@@ -103,6 +111,7 @@ async def async_local_cluster(
     method: str = "pr-nibble",
     parallel: bool = True,
     rng: np.random.Generator | int = 0,
+    kernel: str | None = None,
     service: "DiffusionService | None" = None,
     priority: str = "interactive",
     **param_overrides: Any,
@@ -126,6 +135,7 @@ async def async_local_cluster(
             method=method,
             parallel=parallel,
             rng=rng,
+            kernel=kernel,
             **param_overrides,
         )
         return await loop.run_in_executor(None, call)
@@ -149,7 +159,12 @@ async def async_local_cluster(
             )
         rng = 0  # deterministic methods ignore it
     return await service.cluster(
-        seeds, method=method, rng=int(rng), priority=priority, **param_overrides
+        seeds,
+        method=method,
+        rng=int(rng),
+        priority=priority,
+        kernel=kernel,
+        **param_overrides,
     )
 
 
@@ -164,6 +179,7 @@ def cluster_many(
     cache: "Any | bool | str | None" = None,
     start_method: str | None = None,
     schedule: str | None = None,
+    kernel: str | None = None,
     **param_overrides: Any,
 ) -> list[ClusterResult]:
     """Run :func:`local_cluster` from many seeds as one batch.
@@ -181,6 +197,9 @@ def cluster_many(
     ``cache`` memoises per-job outcomes (``True``, a cache directory, or
     a :class:`repro.cache.ResultCache`); repeated seed lists — common in
     interactive exploration — replay hits instead of re-diffusing.
+    ``kernel`` selects the loop implementation applied to every job
+    (:mod:`repro.kernels`); outcomes — and cache entries — are
+    bit-identical across kernels.
 
     Returns one :class:`ClusterResult` per entry of ``seeds``, in order.
     """
@@ -207,6 +226,7 @@ def cluster_many(
         cache=cache,
         start_method=start_method,
         schedule=schedule,
+        kernel=kernel,
     )
     if not batch.include_vectors:
         raise ValueError(

@@ -219,8 +219,18 @@ def hk_pr(
     seeds: int | np.ndarray,
     params: HKPRParams | None = None,
     parallel: bool = True,
+    kernel: str | None = None,
 ) -> DiffusionResult:
-    """Run deterministic HK-PR with default or supplied parameters."""
+    """Run deterministic HK-PR with default or supplied parameters.
+
+    ``kernel`` is accepted for API uniformity with the other methods and
+    validated (:func:`repro.kernels.resolve_kernel`); the Taylor-push
+    loops are dominated by whole-frontier array operations, so HK-PR has
+    no compiled twin and both values run the reference code.
+    """
+    from ..kernels import resolve_kernel
+
+    resolve_kernel(kernel)
     params = params or HKPRParams()
     if parallel:
         return hk_pr_parallel(graph, seeds, params)

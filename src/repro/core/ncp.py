@@ -84,6 +84,7 @@ def ncp_profile(
     cache: "Any | bool | str | None" = None,
     start_method: str | None = None,
     schedule: str | None = None,
+    kernel: str | None = None,
 ) -> NCPResult:
     """Generate an NCP by sweeping PR-Nibble over seeds and parameters.
 
@@ -109,6 +110,11 @@ def ncp_profile(
     :class:`repro.cache.ResultCache`): re-running a profile, or running an
     overlapping parameter grid, replays hits instead of re-diffusing and
     still produces the bit-identical profile.
+
+    ``kernel`` selects the loop implementation (:mod:`repro.kernels`,
+    e.g. ``"auto"``) applied to every job; because results are
+    bit-identical across kernels the profile — and any cache entries it
+    writes or replays — is unchanged, only faster.
     """
     from ..engine import NCPReducer, job_grid, resolve_engine
 
@@ -130,5 +136,6 @@ def ncp_profile(
         cache=cache,
         start_method=start_method,
         schedule=schedule,
+        kernel=kernel,
     )
     return batch.run(jobs, NCPReducer(limit))

@@ -163,8 +163,18 @@ def nibble(
     seeds: int | np.ndarray,
     params: NibbleParams | None = None,
     parallel: bool = True,
+    kernel: str | None = None,
 ) -> DiffusionResult:
-    """Run Nibble with default or supplied parameters."""
+    """Run Nibble with default or supplied parameters.
+
+    ``kernel`` is accepted for API uniformity with the other methods and
+    validated (:func:`repro.kernels.resolve_kernel`); Nibble's truncated
+    power iteration is dominated by whole-frontier array operations, so
+    it has no compiled twin and both values run the reference code.
+    """
+    from ..kernels import resolve_kernel
+
+    resolve_kernel(kernel)
     params = params or NibbleParams()
     if parallel:
         return nibble_parallel(graph, seeds, params)

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..kernels import csr_arrays, get_kernels, resolve_kernel
 from ..ligra import VertexSubset, edge_map, expand_by_degree, vertex_map
 from ..prims.sparse import SparseDict, SparseVector
 from ..runtime import log2ceil, record
@@ -92,12 +93,39 @@ def _seed_array(seeds: int | np.ndarray) -> np.ndarray:
 
 
 def pr_nibble_sequential(
-    graph: CSRGraph, seeds: int | np.ndarray, params: PRNibbleParams
+    graph: CSRGraph,
+    seeds: int | np.ndarray,
+    params: PRNibbleParams,
+    kernel: str | None = None,
 ) -> DiffusionResult:
-    """Queue-based sequential PR-Nibble (either update rule)."""
+    """Queue-based sequential PR-Nibble (either update rule).
+
+    ``kernel`` selects the push-loop implementation (see
+    :mod:`repro.kernels`): a compiled kernel runs the identical loop over
+    the raw CSR arrays and is bit-identical to the Python default —
+    including sparse-vector entry order, push counts, and the recorded
+    work profile.  Graphs without whole-CSR arrays (shard views) always
+    take the Python path.
+    """
     seed_list = _seed_array(seeds)
     alpha = params.alpha
     eps = params.eps
+    kernel_name = resolve_kernel(kernel)
+    arrays = csr_arrays(graph) if kernel_name != "python" else None
+    if arrays is not None:
+        p_keys, p_values, r_keys, r_values, pushes, touched_edges = get_kernels(
+            kernel_name
+        ).ppr_push(arrays[0], arrays[1], seed_list, alpha, eps, params.optimized)
+        p = SparseDict(dict(zip(p_keys.tolist(), p_values.tolist())))
+        r = SparseDict(dict(zip(r_keys.tolist(), r_values.tolist())))
+        record(work=float(touched_edges + 2 * pushes), depth=0.0, category="sequential")
+        return DiffusionResult(
+            vector=p,
+            iterations=pushes,
+            pushes=pushes,
+            touched_edges=touched_edges,
+            extras={"residual_mass": r.l1_norm(), "residual": r},
+        )
     p = SparseDict()
     r = SparseDict({int(s): 1.0 / len(seed_list) for s in seed_list})
     queue: deque[int] = deque(int(s) for s in seed_list)
@@ -251,9 +279,18 @@ def pr_nibble(
     seeds: int | np.ndarray,
     params: PRNibbleParams | None = None,
     parallel: bool = True,
+    kernel: str | None = None,
 ) -> DiffusionResult:
-    """Run PR-Nibble with default or supplied parameters."""
+    """Run PR-Nibble with default or supplied parameters.
+
+    ``kernel`` selects the push-loop implementation for the sequential
+    path (:mod:`repro.kernels`); the bulk-synchronous parallel path is
+    already array-vectorised and ignores it.  An explicitly requested
+    but unavailable kernel raises either way — better loud than silently
+    different from what was asked for.
+    """
     params = params or PRNibbleParams()
     if parallel:
+        resolve_kernel(kernel)  # validate even though the BSP path ignores it
         return pr_nibble_parallel(graph, seeds, params)
-    return pr_nibble_sequential(graph, seeds, params)
+    return pr_nibble_sequential(graph, seeds, params, kernel=kernel)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..kernels import csr_arrays, get_kernels, resolve_kernel
 from ..prims.compact import pack_index
 from ..prims.hashtable import IntFloatHashTable
 from ..prims.sort import integer_sort_order
@@ -152,17 +153,29 @@ def rand_hk_pr_parallel(
     params: RandHKPRParams,
     rng: np.random.Generator | int = 0,
     aggregation: str = "sort",
+    kernel: str | None = None,
 ) -> DiffusionResult:
     """All walks in parallel; destination aggregation per ``aggregation``.
 
     Each vectorised step advances every still-active walk by one uniformly
     random neighbor (walks at dead-end vertices stop early).  Depth is
     O(K + log N): the step loop plus the aggregation.
+
+    ``kernel`` selects the per-step filter/advance implementation
+    (:mod:`repro.kernels`): compiled kernels fuse the degree filter and
+    the ``neighbor_at`` gather.  The uniform draws stay in this wrapper —
+    between the filter (which fixes how many are drawn) and the advance —
+    so the rng stream, and therefore every walk, is bit-identical to the
+    numpy path.  Graphs without whole-CSR arrays (shard views) take the
+    numpy path.
     """
     if aggregation not in ("sort", "fetch_add"):
         raise ValueError("aggregation must be 'sort' or 'fetch_add'")
     rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
     seed_list = _seed_array(seeds)
+    kernel_name = resolve_kernel(kernel)
+    arrays = csr_arrays(graph) if kernel_name != "python" else None
+    kernels = get_kernels(kernel_name) if arrays is not None else None
     lengths = sample_walk_lengths(rng, params)
     current = seed_list[rng.integers(len(seed_list), size=params.num_walks)].copy()
     steps = 0
@@ -170,16 +183,24 @@ def rand_hk_pr_parallel(
         active = np.flatnonzero(lengths > step)
         if len(active) == 0:
             break
-        vertices = current[active]
-        degrees = graph.degrees(vertices)
-        walkable = degrees > 0
-        active = active[walkable]
-        if len(active) == 0:
-            break
-        vertices = vertices[walkable]
-        degrees = degrees[walkable]
-        pick = (rng.random(len(active)) * degrees).astype(np.int64)
-        current[active] = graph.neighbor_at(vertices, pick)
+        if kernels is not None:
+            offsets, neighbors = arrays
+            active, vertices = kernels.walk_filter(offsets, current, active)
+            if len(active) == 0:
+                break
+            uniforms = rng.random(len(active))
+            kernels.walk_advance(offsets, neighbors, current, active, vertices, uniforms)
+        else:
+            vertices = current[active]
+            degrees = graph.degrees(vertices)
+            walkable = degrees > 0
+            active = active[walkable]
+            if len(active) == 0:
+                break
+            vertices = vertices[walkable]
+            degrees = degrees[walkable]
+            pick = (rng.random(len(active)) * degrees).astype(np.int64)
+            current[active] = graph.neighbor_at(vertices, pick)
         steps += len(active)
         record(work=len(active), depth=1.0, category="walk")
     record(work=params.num_walks, depth=log2ceil(params.num_walks), category="walk")
@@ -203,9 +224,17 @@ def rand_hk_pr(
     params: RandHKPRParams | None = None,
     parallel: bool = True,
     rng: np.random.Generator | int = 0,
+    kernel: str | None = None,
 ) -> DiffusionResult:
-    """Run rand-HK-PR with default or supplied parameters."""
+    """Run rand-HK-PR with default or supplied parameters.
+
+    ``kernel`` accelerates the parallel step loop (:mod:`repro.kernels`).
+    The sequential variant draws from the rng once per individual step,
+    an interleaving no batched kernel can reproduce bit-identically, so
+    it always runs the reference loop (the knob is still validated).
+    """
     params = params or RandHKPRParams()
     if parallel:
-        return rand_hk_pr_parallel(graph, seeds, params, rng=rng)
+        return rand_hk_pr_parallel(graph, seeds, params, rng=rng, kernel=kernel)
+    resolve_kernel(kernel)
     return rand_hk_pr_sequential(graph, seeds, params, rng=rng)

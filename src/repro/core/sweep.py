@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..kernels import csr_arrays, get_kernels, resolve_kernel
 from ..prims.compact import pack_index
 from ..prims.hashtable import IntFloatHashTable
 from ..prims.scan import argmin_via_scan, prefix_sum
@@ -69,34 +70,44 @@ def _guarded_conductance(cuts: np.ndarray, volumes: np.ndarray, total_volume: in
     return phi
 
 
-def sweep_cut_sequential(graph: CSRGraph, vector) -> SweepResult:
+def sweep_cut_sequential(graph: CSRGraph, vector, kernel: str | None = None) -> SweepResult:
     """Reference sequential sweep: incremental volume/boundary bookkeeping.
 
     For each arriving vertex ``v_i``: ``vol += d(v_i)`` and for each edge
     ``(v_i, w)``, decrement the cut if ``w`` is already a member (the edge
     stops crossing) else increment it — exactly the update rule described
-    in Section 3.1.
+    in Section 3.1.  ``kernel`` selects the scan implementation
+    (:mod:`repro.kernels`); the scan is all-integer, so compiled kernels
+    are bit-identical by construction.
     """
     ordered, degrees = sweep_order(graph, vector, category="sequential")
     n = len(ordered)
     if n == 0:
         raise ValueError("sweep cut needs at least one vertex with positive mass")
     total_volume = graph.total_volume
-    members: set[int] = set()
-    vol = 0
-    cut = 0
-    volumes = np.empty(n, dtype=np.int64)
-    cuts = np.empty(n, dtype=np.int64)
-    for i, (vertex, degree) in enumerate(zip(ordered.tolist(), degrees.tolist())):
-        vol += degree
-        for neighbor in graph.neighbors_of(vertex).tolist():
-            if neighbor in members:
-                cut -= 1
-            else:
-                cut += 1
-        members.add(vertex)
-        volumes[i] = vol
-        cuts[i] = cut
+    kernel_name = resolve_kernel(kernel)
+    arrays = csr_arrays(graph) if kernel_name != "python" else None
+    if arrays is not None:
+        volumes, cuts = get_kernels(kernel_name).sweep_scan(
+            arrays[0], arrays[1], ordered, degrees
+        )
+        vol = int(volumes[-1])
+    else:
+        members: set[int] = set()
+        vol = 0
+        cut = 0
+        volumes = np.empty(n, dtype=np.int64)
+        cuts = np.empty(n, dtype=np.int64)
+        for i, (vertex, degree) in enumerate(zip(ordered.tolist(), degrees.tolist())):
+            vol += degree
+            for neighbor in graph.neighbors_of(vertex).tolist():
+                if neighbor in members:
+                    cut -= 1
+                else:
+                    cut += 1
+            members.add(vertex)
+            volumes[i] = vol
+            cuts[i] = cut
     record(work=float(vol + n), depth=0.0, category="sequential")
     conductances = _guarded_conductance(cuts, volumes, total_volume)
     best = int(np.argmin(conductances))
@@ -173,8 +184,16 @@ def sweep_cut_parallel(graph: CSRGraph, vector) -> SweepResult:
     )
 
 
-def sweep_cut(graph: CSRGraph, vector, parallel: bool = True) -> SweepResult:
-    """Dispatch to the parallel (default) or sequential sweep cut."""
+def sweep_cut(
+    graph: CSRGraph, vector, parallel: bool = True, kernel: str | None = None
+) -> SweepResult:
+    """Dispatch to the parallel (default) or sequential sweep cut.
+
+    ``kernel`` selects the membership-scan implementation for the
+    sequential path (:mod:`repro.kernels`); the parallel sweep is already
+    array-vectorised and ignores it (the knob is still validated).
+    """
     if parallel:
+        resolve_kernel(kernel)
         return sweep_cut_parallel(graph, vector)
-    return sweep_cut_sequential(graph, vector)
+    return sweep_cut_sequential(graph, vector, kernel=kernel)

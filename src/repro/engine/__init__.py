@@ -31,6 +31,7 @@ from .executor import (
     BatchEngine,
     ExecutionSession,
     JobOutcome,
+    KernelSession,
     PoolBackend,
     PoolSession,
     ProcessPoolBackend,
@@ -40,7 +41,14 @@ from .executor import (
 )
 from .jobs import DiffusionJob, job_grid
 from .router import RouterSession, RouterStats, ShardRouter, plan_placement
-from .scheduler import SCHEDULES, chunk_costs, estimate_cost, plan_chunks
+from .scheduler import (
+    KERNEL_COST_SCALE,
+    SCHEDULES,
+    chunk_costs,
+    estimate_cost,
+    kernel_cost_scale,
+    plan_chunks,
+)
 from .reducers import (
     BatchStats,
     BestClusterReducer,
@@ -54,6 +62,7 @@ __all__ = [
     "BatchEngine",
     "ExecutionSession",
     "JobOutcome",
+    "KernelSession",
     "PoolBackend",
     "PoolSession",
     "ProcessPoolBackend",
@@ -66,9 +75,11 @@ __all__ = [
     "RouterStats",
     "ShardRouter",
     "plan_placement",
+    "KERNEL_COST_SCALE",
     "SCHEDULES",
     "chunk_costs",
     "estimate_cost",
+    "kernel_cost_scale",
     "plan_chunks",
     "BatchStats",
     "BestClusterReducer",

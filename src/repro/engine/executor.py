@@ -55,7 +55,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -64,6 +64,7 @@ from ..core.api import ALGORITHMS
 from ..core.result import ClusterResult, DiffusionResult, SweepResult, vector_items
 from ..core.sweep import sweep_cut
 from ..graph.csr import CSRGraph
+from ..kernels import ensure_warm, resolve_kernel
 from ..prims.sparse import SparseDict
 from ..runtime import record, track
 from .jobs import DiffusionJob
@@ -78,6 +79,7 @@ __all__ = [
     "JobOutcome",
     "run_job",
     "ExecutionSession",
+    "KernelSession",
     "PoolSession",
     "PoolBackend",
     "SerialBackend",
@@ -102,7 +104,11 @@ class JobOutcome:
     ``include_vectors`` — the diffusion vector flattened to parallel
     ``(keys, values)`` arrays.  ``cached`` marks outcomes replayed from
     the result cache (their counters describe the *original* execution;
-    no diffusion work was performed for this job).
+    no diffusion work was performed for this job).  ``warmup_seconds``
+    is one-time kernel preparation (a JIT compile or a C build) paid
+    before this job's clock started; it is *excluded* from
+    ``wall_seconds`` so throughput numbers measure steady state, and
+    reported separately (mirroring the cache-hit exclusion rule).
     """
 
     index: int
@@ -119,6 +125,7 @@ class JobOutcome:
     vector_keys: np.ndarray | None = None
     vector_values: np.ndarray | None = None
     cached: bool = False
+    warmup_seconds: float = 0.0
 
     @property
     def conductance(self) -> float:
@@ -196,16 +203,26 @@ def run_job(
     params_cls, runner, takes_rng = ALGORITHMS[job.method]
     params = params_cls(**job.params)
     seeds = np.asarray(job.seeds, dtype=np.int64)
+    # Resolve the kernel and pay any one-time preparation (JIT compile /
+    # C build) *before* starting the clock: wall_seconds measures steady
+    # state; the warm-up is reported separately on the outcome.
+    kernel = resolve_kernel(job.kernel)
+    warmup = ensure_warm(kernel)
     start = time.perf_counter()
     with track() as tracker:
         if takes_rng:
             diffusion = runner(
-                graph, seeds, params, parallel=parallel, rng=np.random.default_rng(job.rng)
+                graph,
+                seeds,
+                params,
+                parallel=parallel,
+                rng=np.random.default_rng(job.rng),
+                kernel=kernel,
             )
         else:
-            diffusion = runner(graph, seeds, params, parallel=parallel)
+            diffusion = runner(graph, seeds, params, parallel=parallel, kernel=kernel)
         sweep = (
-            sweep_cut(graph, diffusion.vector, parallel=parallel)
+            sweep_cut(graph, diffusion.vector, parallel=parallel, kernel=kernel)
             if diffusion.support_size() > 0
             else None
         )
@@ -227,6 +244,7 @@ def run_job(
         sweep=sweep,
         vector_keys=keys,
         vector_values=values,
+        warmup_seconds=warmup,
     )
 
 
@@ -555,6 +573,49 @@ class ProcessPoolBackend(PoolBackend):
             session.close()
 
 
+class KernelSession:
+    """A thin session wrapper applying an engine's default kernel.
+
+    Delegates everything to the inner session; only ``run`` intervenes,
+    stamping the engine-level ``kernel=`` onto jobs that do not carry
+    their own.  Kept separate from :class:`ExecutionSession` so backend
+    session classes (pool, router, caching) need no kernel awareness —
+    ``job.kernel`` is the single source of truth crossing process
+    boundaries.
+    """
+
+    def __init__(self, session: ExecutionSession, kernel: str) -> None:
+        self._session = session
+        self._kernel = kernel
+
+    def run(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
+        return self._session.run(_apply_kernel(jobs, self._kernel))
+
+    def close(self) -> None:
+        self._session.close()
+
+    def __enter__(self) -> "KernelSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._session, name)
+
+
+def _apply_kernel(
+    jobs: Iterable[DiffusionJob], kernel: str | None
+) -> list[DiffusionJob]:
+    """Stamp the engine default kernel onto jobs that carry none."""
+    jobs = list(jobs)
+    if kernel is None:
+        return jobs
+    return [
+        job if job.kernel is not None else replace(job, kernel=kernel) for job in jobs
+    ]
+
+
 class BatchEngine:
     """Front door of the batch subsystem: jobs in, reduced results out.
 
@@ -613,6 +674,14 @@ class BatchEngine:
         disk-backed one, or a ready ``ResultCache`` (shared across
         engines).  Only cache misses are dispatched to the backend;
         outcomes still stream back in job order.
+    kernel:
+        Default loop implementation for jobs that do not carry their own
+        ``DiffusionJob.kernel`` (:mod:`repro.kernels`): ``None`` (keep
+        the jobs' setting, ultimately ``"python"``), ``"python"``,
+        ``"numba"``, ``"c"``, or ``"auto"``.  Validated here so an
+        unavailable explicit request fails at construction, not in a
+        worker.  Outcomes are bit-identical across kernels, and the
+        kernel is excluded from cache keys.
 
     >>> from repro.graph import barbell_graph
     >>> from repro.engine import BatchEngine, DiffusionJob
@@ -634,12 +703,16 @@ class BatchEngine:
         shards: int | None = None,
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
+        kernel: str | None = None,
     ) -> None:
         from ..cache import CachingBackend, resolve_cache
 
         self.graph = graph
         self.parallel = parallel
         self.include_vectors = include_vectors
+        if kernel is not None:
+            resolve_kernel(kernel)  # fail fast on unknown/unavailable kernels
+        self.kernel = kernel
         if backend is None:
             if shards is not None:
                 backend = "sharded"
@@ -732,15 +805,20 @@ class BatchEngine:
         This is the primitive the serving plane
         (:class:`repro.serve.DiffusionService`) multiplexes clients onto.
         Close the session (it is a context manager) to tear the pool down.
+        An engine-level ``kernel=`` default is applied by a transparent
+        :class:`KernelSession` wrapper.
         """
-        return self.backend.open_session(
+        session = self.backend.open_session(
             self.graph, self.parallel, self.include_vectors
         )
+        if self.kernel is None:
+            return session
+        return KernelSession(session, self.kernel)  # type: ignore[return-value]
 
     def map(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
         """Stream outcomes in job order (lazy; see :meth:`run` to reduce)."""
         return self.backend.stream(
-            self.graph, list(jobs), self.parallel, self.include_vectors
+            self.graph, _apply_kernel(jobs, self.kernel), self.parallel, self.include_vectors
         )
 
     def run(
@@ -791,6 +869,7 @@ def resolve_engine(
     shards: int | None = None,
     max_resident_shards: int | None = None,
     spill_shards: int | None = None,
+    kernel: str | None = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
@@ -820,6 +899,7 @@ def resolve_engine(
                 ("shards", shards),
                 ("max_resident_shards", max_resident_shards),
                 ("spill_shards", spill_shards),
+                ("kernel", kernel),
             )
             if value is not None and value is not False
         ]
@@ -841,4 +921,5 @@ def resolve_engine(
         shards=shards,
         max_resident_shards=max_resident_shards,
         spill_shards=spill_shards,
+        kernel=kernel,
     )

@@ -48,6 +48,13 @@ class DiffusionJob:
     tag:
         Free-form caller annotation carried through to the outcome
         (useful for joining batch output back to experiment metadata).
+    kernel:
+        Loop implementation for the job's hot paths
+        (:mod:`repro.kernels`): ``None`` inherits the engine's default
+        (ultimately ``"python"``), or ``"python"``/``"numba"``/``"c"``/
+        ``"auto"`` explicitly.  Like ``tag`` it is excluded from the
+        cache key — results are bit-identical across kernels, so entries
+        written under one kernel replay under any other.
     """
 
     seeds: tuple[int, ...]
@@ -55,6 +62,7 @@ class DiffusionJob:
     params: dict[str, Any] = field(default_factory=dict)
     rng: int = 0
     tag: Any = None
+    kernel: str | None = None
 
     @staticmethod
     def make(
@@ -63,6 +71,7 @@ class DiffusionJob:
         params: Mapping[str, Any] | None = None,
         rng: int = 0,
         tag: Any = None,
+        kernel: str | None = None,
     ) -> "DiffusionJob":
         """Normalise loose seed specs (scalar, list, array) into a job."""
         array = np.atleast_1d(np.asarray(seeds, dtype=np.int64))
@@ -72,6 +81,7 @@ class DiffusionJob:
             params=dict(params or {}),
             rng=int(rng),
             tag=tag,
+            kernel=kernel,
         )
 
     def describe(self) -> str:
@@ -87,6 +97,7 @@ def job_grid(
     grid: Mapping[str, Sequence[Any]] | None = None,
     params: Mapping[str, Any] | None = None,
     rng: int = 0,
+    kernel: str | None = None,
 ) -> Iterator[DiffusionJob]:
     """Yield the cartesian product of ``seeds`` x ``grid`` as jobs.
 
@@ -110,6 +121,6 @@ def job_grid(
             overrides = dict(fixed)
             overrides.update(zip(names, combo))
             yield DiffusionJob.make(
-                seed, method=method, params=overrides, rng=rng + index
+                seed, method=method, params=overrides, rng=rng + index, kernel=kernel
             )
             index += 1

@@ -121,6 +121,12 @@ class BatchStats:
     and performed no diffusion here — the same exclusion rule
     :meth:`repro.engine.BatchEngine.run` applies to the recorded
     work-depth cost.
+
+    ``warmup_seconds`` tallies one-time kernel preparation (a numba JIT
+    compile, a C build probe) separately, by the same logic: ``run_job``
+    starts its timer *after* :func:`repro.kernels.ensure_warm`, so
+    ``job_seconds`` is a steady-state measurement and the compile cost is
+    reported here instead of silently inflating the first job.
     """
 
     jobs: int = 0
@@ -131,6 +137,7 @@ class BatchStats:
     total_work: float = 0.0
     max_depth: float = 0.0
     job_seconds: float = 0.0
+    warmup_seconds: float = 0.0
     by_method: dict[str, int] = field(default_factory=dict)
 
     def jobs_per_second(self, wall_seconds: float) -> float:
@@ -162,6 +169,7 @@ class StatsReducer(Reducer):
         stats.total_work += outcome.work
         stats.max_depth = max(stats.max_depth, outcome.depth)
         stats.job_seconds += outcome.wall_seconds
+        stats.warmup_seconds += outcome.warmup_seconds
 
     def finalize(self) -> BatchStats:
         return self.stats

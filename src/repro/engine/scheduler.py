@@ -51,6 +51,7 @@ import heapq
 from typing import Callable, Sequence
 
 from ..core.api import ALGORITHMS
+from ..kernels import KernelUnavailableError, resolve_kernel
 from ..runtime.cost_model import (
     ppr_push_work_bound,
     random_walk_work_bound,
@@ -58,7 +59,15 @@ from ..runtime.cost_model import (
 )
 from .jobs import DiffusionJob
 
-__all__ = ["SCHEDULES", "estimate_cost", "plan_chunks", "chunk_costs", "fifo_chunk_size"]
+__all__ = [
+    "SCHEDULES",
+    "KERNEL_COST_SCALE",
+    "kernel_cost_scale",
+    "estimate_cost",
+    "plan_chunks",
+    "chunk_costs",
+    "fifo_chunk_size",
+]
 
 #: recognised values of the engine-facing ``schedule=`` knob.
 SCHEDULES = ("cost", "fifo")
@@ -72,16 +81,43 @@ _MIN_COST = 1.0
 #: 8 matches the historical count-based chunking's sizing rule.
 CHUNKS_PER_WORKER = 8
 
+#: seconds-per-push scale relative to the Python loops.  The compiled
+#: kernels measure 1-2 orders of magnitude faster (BENCH_kernels), so
+#: without this a mixed batch's cost plan would weigh a compiled job as
+#: heavily as a Python one and pack the true stragglers together.  Only
+#: the *ratio* matters for LPT packing; 0.02 is a deliberately
+#: conservative midpoint of the measured 10-100x range.
+KERNEL_COST_SCALE = {"python": 1.0, "numba": 0.02, "c": 0.02}
+
+
+def kernel_cost_scale(kernel: str | None) -> float:
+    """Relative seconds-per-unit-work of a job's kernel setting.
+
+    Never raises: an unknown or unavailable kernel scales like Python
+    (the execution layer is where bad kernels must fail, loudly —
+    scheduling must never be the thing that aborts a batch).
+    """
+    if kernel is None:
+        return 1.0
+    try:
+        name = resolve_kernel(kernel)
+    except (ValueError, KernelUnavailableError):
+        return 1.0
+    return KERNEL_COST_SCALE.get(name, 1.0)
+
 
 def estimate_cost(job: DiffusionJob) -> float:
-    """A-priori work estimate for one job, in (approximate) push units.
+    """A-priori cost estimate for one job, in (approximate) push units.
 
     Dispatches on the method to the closed-form bounds of
     :mod:`repro.runtime.cost_model`, instantiating the method's parameter
-    dataclass so defaults are filled exactly as execution will fill them.
-    Unknown methods (a job that would fail at execution time anyway) get
-    the floor cost rather than an exception — scheduling must never be the
-    thing that aborts a batch.
+    dataclass so defaults are filled exactly as execution will fill them,
+    then scales by the job's kernel (:func:`kernel_cost_scale`) — a
+    compiled push costs a small fraction of a Python push in wall time,
+    and cost chunks balance *time*, not abstract work.  Unknown methods
+    (a job that would fail at execution time anyway) get the floor cost
+    rather than an exception — scheduling must never be the thing that
+    aborts a batch.
     """
     if job.method not in ALGORITHMS:
         return _MIN_COST
@@ -100,7 +136,7 @@ def estimate_cost(job: DiffusionJob) -> float:
         cost = ppr_push_work_bound(1.0 / params.taylor_degree, params.eps)
     else:  # rand-hk-pr
         cost = random_walk_work_bound(params.num_walks, params.max_walk_length)
-    return max(cost, _MIN_COST)
+    return max(cost * kernel_cost_scale(job.kernel), _MIN_COST)
 
 
 def chunk_costs(

@@ -1,0 +1,244 @@
+"""Compiled kernel plane: the three hot loops, selectable at run time.
+
+The paper's headline numbers come from tight shared-memory loops; this
+package provides compiled implementations of the three hottest ones —
+the PR-Nibble push loop, the sweep-cut membership scan, and random-walk
+stepping — behind a single ``kernel=`` knob threaded through
+:func:`repro.local_cluster`, :class:`repro.engine.DiffusionJob`/
+:class:`~repro.engine.BatchEngine`, :class:`repro.serve.DiffusionService`
+and the CLI.
+
+Backends
+--------
+``"python"``
+    The original object-level reference loops in :mod:`repro.core`,
+    untouched.  Always available; the default (``kernel=None``).
+``"numba"``
+    JIT-compiled twins (:mod:`repro.kernels._numba`).  Requires the
+    optional ``repro[kernels]`` extra; requesting it without numba
+    installed raises :class:`KernelUnavailableError`.
+``"c"``
+    The same loops as C, compiled once with the system compiler and
+    loaded via ctypes (:mod:`repro.kernels._ckernels`).  Available
+    wherever ``cc``/``gcc``/``clang`` is on PATH — no new dependency.
+``"auto"``
+    Probe once per process and pick the best available
+    (numba > c > python), degrading silently to ``"python"`` when no
+    compiled backend works.
+
+Every kernel operates on raw CSR arrays (``offsets``/``neighbors``), so
+compiled execution composes with :class:`repro.graph.shared.SharedCSR`
+zero-copy attach for free; :class:`repro.graph.sharded.ShardedGraphView`
+exposes no whole-graph arrays (:func:`csr_arrays` returns ``None``), so
+jobs running on shard views escalate to the Python path — bit-identical
+either way.  Recorded work/depth profiles and cache keys are identical
+across kernels, so :class:`repro.cache.ResultCache` entries are
+kernel-agnostic: an outcome written under one kernel replays under any
+other.
+
+Runnable example — the compiled result is bit-identical to the
+reference, including sparse-vector entry order:
+
+>>> from repro.kernels import available_kernels, resolve_kernel
+>>> resolve_kernel(None)
+'python'
+>>> best = resolve_kernel("auto")
+>>> best in available_kernels()
+True
+>>> from repro.core import PRNibbleParams, pr_nibble
+>>> from repro.graph import barbell_graph
+>>> graph = barbell_graph(8)
+>>> params = PRNibbleParams(alpha=0.1, eps=1e-5)
+>>> reference = pr_nibble(graph, 0, params, parallel=False)
+>>> compiled = pr_nibble(graph, 0, params, parallel=False, kernel="auto")
+>>> compiled.vector.to_dict() == reference.vector.to_dict()
+True
+>>> compiled.pushes == reference.pushes
+True
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from . import reference
+
+__all__ = [
+    "KERNELS",
+    "KernelUnavailableError",
+    "available_kernels",
+    "resolve_kernel",
+    "get_kernels",
+    "csr_arrays",
+    "ensure_warm",
+]
+
+#: every explicit value the ``kernel=`` knob accepts (``None`` means
+#: ``"python"``; ``"auto"`` resolves to the best entry of this tuple).
+KERNELS = ("python", "numba", "c")
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested kernel backend cannot run here."""
+
+
+class PythonKernels:
+    """The always-available kernel set: the array-level reference twins."""
+
+    name = "python"
+    ppr_push = staticmethod(reference.ppr_push)
+    sweep_scan = staticmethod(reference.sweep_scan)
+    walk_filter = staticmethod(reference.walk_filter)
+    walk_advance = staticmethod(reference.walk_advance)
+
+
+#: per-process kernel-set cache: name -> kernel set (or the probe error).
+_SETS: dict[str, Any] = {"python": PythonKernels()}
+_ERRORS: dict[str, Exception] = {}
+_AUTO: str | None = None
+_WARMED: set[str] = set()
+
+
+def _load(name: str) -> Any:
+    """Build (memoised) the named kernel set, or raise why it cannot run."""
+    if name in _SETS:
+        return _SETS[name]
+    if name in _ERRORS:
+        raise _ERRORS[name]
+    try:
+        if name == "numba":
+            from . import _numba
+
+            kernels = _numba.build()
+        elif name == "c":
+            from . import _ckernels
+
+            kernels = _ckernels.build()
+        else:
+            raise ValueError(f"unknown kernel {name!r}; choose from {KERNELS + ('auto',)}")
+    except ValueError:
+        raise
+    except Exception as error:
+        probe = KernelUnavailableError(_unavailable_message(name, error))
+        probe.__cause__ = error
+        _ERRORS[name] = probe
+        raise probe from error
+    _SETS[name] = kernels
+    return kernels
+
+
+def _unavailable_message(name: str, error: Exception) -> str:
+    if name == "numba":
+        return (
+            "kernel='numba' requires the numba package, which is not "
+            "installed; install the optional extra (pip install "
+            "'repro[kernels]') or use kernel='auto' to fall back "
+            f"gracefully [{error}]"
+        )
+    return (
+        "kernel='c' requires a working system C compiler (cc/gcc/clang); "
+        f"none produced a loadable library here [{error}]"
+    )
+
+
+def available_kernels() -> tuple[str, ...]:
+    """The kernel names that can actually run in this process (probed once).
+
+    ``"python"`` is always present; ``"numba"`` and ``"c"`` appear only
+    when their probe — an import, respectively a compile-and-load —
+    succeeds, so a broken toolchain reads as absent rather than as a
+    runtime error later.
+    """
+    names = ["python"]
+    for name in ("numba", "c"):
+        try:
+            _load(name)
+        except KernelUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Normalise the ``kernel=`` knob to a concrete, runnable kernel name.
+
+    ``None`` means ``"python"`` (the default behaviour of every API is
+    unchanged; compiled kernels are strictly opt-in).  ``"auto"`` probes
+    once per process and picks numba > c > python, silently using
+    ``"python"`` when no compiled backend is available.  Explicitly
+    requesting an unavailable backend raises
+    :class:`KernelUnavailableError` with the reason; an unknown name
+    raises ``ValueError``.
+    """
+    global _AUTO
+    if kernel is None or kernel == "python":
+        return "python"
+    if kernel == "auto":
+        if _AUTO is None:
+            for name in ("numba", "c"):
+                try:
+                    _load(name)
+                except KernelUnavailableError:
+                    continue
+                _AUTO = name
+                break
+            else:
+                _AUTO = "python"
+        return _AUTO
+    if kernel not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose from {KERNELS + ('auto',)}"
+        )
+    _load(kernel)
+    return kernel
+
+
+def get_kernels(kernel: str | None) -> Any:
+    """The kernel set (``ppr_push``/``sweep_scan``/``walk_filter``/
+    ``walk_advance`` namespace) for a resolved kernel name."""
+    return _load(resolve_kernel(kernel))
+
+
+def csr_arrays(graph: Any) -> tuple[np.ndarray, np.ndarray] | None:
+    """``(offsets, neighbors)`` when ``graph`` exposes whole-graph CSR
+    arrays, else ``None``.
+
+    Duck-typed on purpose: a :class:`repro.graph.CSRGraph` (including one
+    attached zero-copy from shared memory) qualifies; a
+    :class:`repro.graph.sharded.ShardedGraphView` does not — its shards
+    may not be resident — so shard-routed jobs escalate to the Python
+    path instead of faulting the whole CSR in.
+    """
+    offsets = getattr(graph, "offsets", None)
+    neighbors = getattr(graph, "neighbors", None)
+    if isinstance(offsets, np.ndarray) and isinstance(neighbors, np.ndarray):
+        return offsets, neighbors
+    return None
+
+
+def ensure_warm(kernel: str | None) -> float:
+    """Prepare the resolved kernel now; returns the seconds it took.
+
+    For ``"c"`` that is compile-and-load (disk-cached, so usually only
+    the first process ever pays the compile); for ``"numba"`` it triggers
+    JIT compilation of all kernels on a tiny graph.  Memoised per
+    process: the second call for a kernel returns ``0.0``.  The executor
+    calls this *before* starting a job's wall clock, so
+    ``JobOutcome.wall_seconds`` — and thus ``StatsReducer`` throughput —
+    measures steady state, with the one-time cost reported separately as
+    ``warmup_seconds`` (mirroring the cache-hit exclusion rule).
+    """
+    name = resolve_kernel(kernel)
+    if name in _WARMED:
+        return 0.0
+    start = time.perf_counter()
+    _load(name)
+    if name == "numba":
+        from . import _numba
+
+        _numba.warm()
+    _WARMED.add(name)
+    return time.perf_counter() - start

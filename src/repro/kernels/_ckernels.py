@@ -1,0 +1,359 @@
+"""C renderings of the kernels, compiled on first use and bound via ctypes.
+
+No build step and no new Python dependency: the C source below is
+compiled into a tiny shared library with whatever system compiler is
+present (``cc``/``gcc``/``clang``) and loaded with :mod:`ctypes`.  The
+library is cached on disk keyed by a hash of the source and the compiler
+flags — ``$REPRO_KERNEL_CACHE`` if set, else a per-user directory under
+the system temp dir — so pool workers (and repeat processes) ``dlopen``
+the existing artifact instead of recompiling.  The build is atomic
+(compile to a unique temp name, then ``os.replace``), so concurrent
+workers racing on a cold cache cannot observe a half-written library.
+
+Bit-identity with the Python reference rests on two properties:
+
+* C ``double`` arithmetic is IEEE-754 binary64, the same as CPython's
+  ``float``, provided the compiler neither contracts ``a*b+c`` into an
+  FMA nor reassociates — hence ``-ffp-contract=off -fno-fast-math`` in
+  :data:`CFLAGS`.  Every expression below copies the reference's
+  source-level operation order, so each intermediate rounds identically.
+* ``(int64_t)(u * (double)deg)`` truncates toward zero, matching numpy's
+  ``.astype(np.int64)`` on non-negative values.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from shutil import which
+
+import numpy as np
+
+__all__ = ["build", "compiler", "KernelBuildError"]
+
+#: environment override for the compiled-kernel cache directory.
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+#: strictly-IEEE optimisation flags: -O3 for the speed the kernels exist
+#: for, contraction and fast-math explicitly off for bit-identity.
+CFLAGS = ["-O3", "-shared", "-fPIC", "-ffp-contract=off", "-fno-fast-math"]
+
+SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef int64_t i64;
+
+/* Queue-based PR-Nibble push loop; mirrors repro.core.pr_nibble's
+ * sequential reference including dict-insertion order (p: first push,
+ * r: seeds then first touch).  Returns 0, or -1 on allocation failure.
+ * counters: [num_p, num_r, pushes, touched_edges]. */
+i64 ppr_push(const i64 *offsets, const i64 *neighbors, i64 n,
+             const i64 *seeds, i64 num_seeds,
+             double alpha, double eps, i64 optimized,
+             double *p, double *r,
+             uint8_t *in_p, uint8_t *in_r, uint8_t *queued,
+             i64 *p_order, i64 *r_order, i64 *counters)
+{
+    i64 num_p = 0, num_r = 0, pushes = 0, touched = 0;
+    i64 qcap = num_seeds * 2 > 128 ? num_seeds * 2 : 128;
+    i64 *queue = (i64 *)malloc((size_t)qcap * sizeof(i64));
+    if (!queue)
+        return -1;
+    i64 head = 0, tail = 0;
+    double r0 = 1.0 / (double)num_seeds;
+    for (i64 k = 0; k < num_seeds; k++) {
+        i64 s = seeds[k];
+        r[s] = r0;
+        in_r[s] = 1;
+        r_order[num_r++] = s;
+        queue[tail++] = s;
+        queued[s] = 1;
+    }
+    while (head < tail) {
+        i64 vertex = queue[head++];
+        queued[vertex] = 0;
+        i64 degree = offsets[vertex + 1] - offsets[vertex];
+        if (degree == 0)
+            continue;
+        double threshold = eps * (double)degree;
+        while (r[vertex] >= threshold) {
+            double residual = r[vertex];
+            double gain, share;
+            if (optimized) {
+                gain = (2.0 * alpha / (1.0 + alpha)) * residual;
+                share = ((1.0 - alpha) / (1.0 + alpha)) * residual / (double)degree;
+                r[vertex] = 0.0;
+            } else {
+                gain = alpha * residual;
+                share = (1.0 - alpha) * residual / (2.0 * (double)degree);
+                r[vertex] = (1.0 - alpha) * residual / 2.0;
+            }
+            if (!in_p[vertex]) {
+                in_p[vertex] = 1;
+                p_order[num_p++] = vertex;
+            }
+            p[vertex] += gain;
+            pushes++;
+            touched += degree;
+            for (i64 edge = offsets[vertex]; edge < offsets[vertex + 1]; edge++) {
+                i64 neighbor = neighbors[edge];
+                if (!in_r[neighbor]) {
+                    in_r[neighbor] = 1;
+                    r_order[num_r++] = neighbor;
+                }
+                r[neighbor] += share;
+                if (!queued[neighbor]) {
+                    i64 nb_degree = offsets[neighbor + 1] - offsets[neighbor];
+                    if (r[neighbor] >= eps * (double)nb_degree) {
+                        if (tail == qcap) {
+                            qcap *= 2;
+                            i64 *grown = (i64 *)realloc(queue, (size_t)qcap * sizeof(i64));
+                            if (!grown) {
+                                free(queue);
+                                return -1;
+                            }
+                            queue = grown;
+                        }
+                        queue[tail++] = neighbor;
+                        queued[neighbor] = 1;
+                    }
+                }
+            }
+        }
+    }
+    free(queue);
+    counters[0] = num_p;
+    counters[1] = num_r;
+    counters[2] = pushes;
+    counters[3] = touched;
+    return 0;
+}
+
+/* Incremental sweep membership scan (all-integer). */
+void sweep_scan(const i64 *offsets, const i64 *neighbors,
+                const i64 *ordered, const i64 *degrees, i64 n_ordered,
+                uint8_t *members, i64 *volumes, i64 *cuts)
+{
+    i64 vol = 0, cut = 0;
+    for (i64 i = 0; i < n_ordered; i++) {
+        i64 vertex = ordered[i];
+        vol += degrees[i];
+        for (i64 edge = offsets[vertex]; edge < offsets[vertex + 1]; edge++)
+            cut += members[neighbors[edge]] ? -1 : 1;
+        members[vertex] = 1;
+        volumes[i] = vol;
+        cuts[i] = cut;
+    }
+}
+
+/* Keep the walk lanes whose current vertex has outgoing edges; returns
+ * the kept count.  Integer-only, order-preserving. */
+i64 walk_filter(const i64 *offsets, const i64 *current,
+                const i64 *active, i64 n_active,
+                i64 *active_out, i64 *vertices_out)
+{
+    i64 kept = 0;
+    for (i64 i = 0; i < n_active; i++) {
+        i64 lane = active[i];
+        i64 vertex = current[lane];
+        if (offsets[vertex + 1] - offsets[vertex] > 0) {
+            active_out[kept] = lane;
+            vertices_out[kept] = vertex;
+            kept++;
+        }
+    }
+    return kept;
+}
+
+/* Advance each kept walk: pick = trunc(u * degree), matching numpy's
+ * (uniforms * degrees).astype(int64). */
+void walk_advance(const i64 *offsets, const i64 *neighbors,
+                  i64 *current, const i64 *active, const i64 *vertices,
+                  const double *uniforms, i64 n)
+{
+    for (i64 i = 0; i < n; i++) {
+        i64 vertex = vertices[i];
+        i64 degree = offsets[vertex + 1] - offsets[vertex];
+        i64 pick = (i64)(uniforms[i] * (double)degree);
+        current[active[i]] = neighbors[offsets[vertex] + pick];
+    }
+}
+"""
+
+
+class KernelBuildError(RuntimeError):
+    """The C kernels could not be compiled or loaded on this machine."""
+
+
+def compiler() -> str | None:
+    """Path of the first available system C compiler, or ``None``."""
+    for name in ("cc", "gcc", "clang"):
+        found = which(name)
+        if found:
+            return found
+    return None
+
+
+def _cache_dir() -> Path:
+    configured = os.environ.get(CACHE_ENV)
+    if configured:
+        return Path(configured)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
+
+
+def _build_library(cc: str) -> Path:
+    """Compile (or reuse) the kernel library; returns its path."""
+    tag = hashlib.blake2b(
+        (SOURCE + " ".join(CFLAGS) + cc).encode("utf-8"), digest_size=10
+    ).hexdigest()
+    suffix = ".dll" if sys.platform == "win32" else ".so"
+    directory = _cache_dir()
+    library = directory / f"repro_kernels_{tag}{suffix}"
+    if library.exists():
+        return library
+    directory.mkdir(parents=True, exist_ok=True)
+    source = directory / f"repro_kernels_{tag}.c"
+    scratch = directory / f".build-{tag}-{os.getpid()}{suffix}"
+    source.write_text(SOURCE)
+    try:
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", str(scratch), str(source)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise KernelBuildError(
+                f"C kernel build failed ({cc}):\n{proc.stderr.strip()}"
+            )
+        os.replace(scratch, library)  # atomic under concurrent builders
+    except (OSError, subprocess.SubprocessError) as error:
+        raise KernelBuildError(f"C kernel build failed: {error}") from error
+    finally:
+        if scratch.exists():
+            scratch.unlink()
+    return library
+
+
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+_i64 = ctypes.c_int64
+_f64 = ctypes.c_double
+
+
+def _bind(library_path: Path) -> ctypes.CDLL:
+    lib = ctypes.CDLL(str(library_path))
+    lib.ppr_push.restype = _i64
+    lib.ppr_push.argtypes = [
+        _I64P, _I64P, _i64,           # offsets, neighbors, n
+        _I64P, _i64,                  # seeds, num_seeds
+        _f64, _f64, _i64,             # alpha, eps, optimized
+        _F64P, _F64P,                 # p, r
+        _U8P, _U8P, _U8P,             # in_p, in_r, queued
+        _I64P, _I64P, _I64P,          # p_order, r_order, counters
+    ]
+    lib.sweep_scan.restype = None
+    lib.sweep_scan.argtypes = [_I64P, _I64P, _I64P, _I64P, _i64, _U8P, _I64P, _I64P]
+    lib.walk_filter.restype = _i64
+    lib.walk_filter.argtypes = [_I64P, _I64P, _I64P, _i64, _I64P, _I64P]
+    lib.walk_advance.restype = None
+    lib.walk_advance.argtypes = [_I64P, _I64P, _I64P, _I64P, _I64P, _F64P, _i64]
+    return lib
+
+
+def _as_i64(array: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=np.int64)
+
+
+class CKernels:
+    """The kernel set backed by the compiled library (one per process)."""
+
+    name = "c"
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+
+    def ppr_push(self, offsets, neighbors, seeds, alpha, eps, optimized):
+        offsets = _as_i64(offsets)
+        neighbors = _as_i64(neighbors)
+        seeds = _as_i64(seeds)
+        n = len(offsets) - 1
+        p = np.zeros(n, dtype=np.float64)
+        r = np.zeros(n, dtype=np.float64)
+        in_p = np.zeros(n, dtype=np.uint8)
+        in_r = np.zeros(n, dtype=np.uint8)
+        queued = np.zeros(n, dtype=np.uint8)
+        p_order = np.empty(n, dtype=np.int64)
+        r_order = np.empty(n, dtype=np.int64)
+        counters = np.zeros(4, dtype=np.int64)
+        status = self._lib.ppr_push(
+            offsets, neighbors, n,
+            seeds, len(seeds),
+            float(alpha), float(eps), 1 if optimized else 0,
+            p, r, in_p, in_r, queued, p_order, r_order, counters,
+        )
+        if status != 0:
+            raise MemoryError("C ppr_push kernel could not grow its queue")
+        num_p, num_r = int(counters[0]), int(counters[1])
+        p_keys = p_order[:num_p].copy()
+        r_keys = r_order[:num_r].copy()
+        return p_keys, p[p_keys], r_keys, r[r_keys], int(counters[2]), int(counters[3])
+
+    def sweep_scan(self, offsets, neighbors, ordered, degrees):
+        offsets = _as_i64(offsets)
+        neighbors = _as_i64(neighbors)
+        ordered = _as_i64(ordered)
+        degrees = _as_i64(degrees)
+        n = len(ordered)
+        members = np.zeros(len(offsets) - 1, dtype=np.uint8)
+        volumes = np.empty(n, dtype=np.int64)
+        cuts = np.empty(n, dtype=np.int64)
+        self._lib.sweep_scan(offsets, neighbors, ordered, degrees, n, members, volumes, cuts)
+        return volumes, cuts
+
+    def walk_filter(self, offsets, current, active):
+        offsets = _as_i64(offsets)
+        current = _as_i64(current)
+        active = _as_i64(active)
+        active_out = np.empty(len(active), dtype=np.int64)
+        vertices_out = np.empty(len(active), dtype=np.int64)
+        kept = self._lib.walk_filter(
+            offsets, current, active, len(active), active_out, vertices_out
+        )
+        return active_out[:kept], vertices_out[:kept]
+
+    def walk_advance(self, offsets, neighbors, current, active, vertices, uniforms):
+        self._lib.walk_advance(
+            _as_i64(offsets),
+            _as_i64(neighbors),
+            current,
+            _as_i64(active),
+            _as_i64(vertices),
+            np.ascontiguousarray(uniforms, dtype=np.float64),
+            len(active),
+        )
+
+
+def build() -> CKernels:
+    """Compile (or load from cache) and bind the C kernel set.
+
+    Raises :class:`KernelBuildError` when no compiler is available or the
+    build fails; callers treat that as "kernel unavailable".
+    """
+    cc = compiler()
+    if cc is None:
+        raise KernelBuildError(
+            "no C compiler found (looked for cc, gcc, clang on PATH)"
+        )
+    try:
+        return CKernels(_bind(_build_library(cc)))
+    except OSError as error:  # dlopen failure on a stale/foreign artifact
+        raise KernelBuildError(f"C kernel library failed to load: {error}") from error

@@ -1,0 +1,174 @@
+"""Numba-jitted renderings of the kernels.
+
+Importing this module requires numba (the optional ``repro[kernels]``
+extra); :mod:`repro.kernels` only imports it after a successful probe, so
+environments without numba never pay — or fail on — the import.
+
+The jitted loops are transliterations of :mod:`repro.kernels.reference`.
+``fastmath`` stays at its default (off), so LLVM performs neither FMA
+contraction nor reassociation and every double operation rounds exactly
+as CPython's — the same contract the C kernels' ``-ffp-contract=off``
+establishes.  ``cache=True`` persists the compiled artifacts next to the
+package so pool workers and repeat processes skip recompilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["NumbaKernels", "build", "warm"]
+
+
+@njit(cache=True)
+def _ppr_push(offsets, neighbors, seeds, alpha, eps, optimized):  # pragma: no cover
+    n = len(offsets) - 1
+    p = np.zeros(n, dtype=np.float64)
+    r = np.zeros(n, dtype=np.float64)
+    in_p = np.zeros(n, dtype=np.uint8)
+    in_r = np.zeros(n, dtype=np.uint8)
+    queued = np.zeros(n, dtype=np.uint8)
+    p_order = np.empty(n, dtype=np.int64)
+    r_order = np.empty(n, dtype=np.int64)
+    num_p = 0
+    num_r = 0
+
+    num_seeds = len(seeds)
+    qcap = max(2 * num_seeds, 128)
+    queue = np.empty(qcap, dtype=np.int64)
+    head = 0
+    tail = 0
+    r0 = 1.0 / num_seeds
+    for k in range(num_seeds):
+        s = seeds[k]
+        r[s] = r0
+        in_r[s] = 1
+        r_order[num_r] = s
+        num_r += 1
+        queue[tail] = s
+        tail += 1
+        queued[s] = 1
+
+    pushes = 0
+    touched = 0
+    while head < tail:
+        vertex = queue[head]
+        head += 1
+        queued[vertex] = 0
+        degree = offsets[vertex + 1] - offsets[vertex]
+        if degree == 0:
+            continue
+        threshold = eps * degree
+        while r[vertex] >= threshold:
+            residual = r[vertex]
+            if optimized:
+                gain = (2.0 * alpha / (1.0 + alpha)) * residual
+                share = ((1.0 - alpha) / (1.0 + alpha)) * residual / degree
+                r[vertex] = 0.0
+            else:
+                gain = alpha * residual
+                share = (1.0 - alpha) * residual / (2.0 * degree)
+                r[vertex] = (1.0 - alpha) * residual / 2.0
+            if in_p[vertex] == 0:
+                in_p[vertex] = 1
+                p_order[num_p] = vertex
+                num_p += 1
+            p[vertex] += gain
+            pushes += 1
+            touched += degree
+            for edge in range(offsets[vertex], offsets[vertex + 1]):
+                neighbor = neighbors[edge]
+                if in_r[neighbor] == 0:
+                    in_r[neighbor] = 1
+                    r_order[num_r] = neighbor
+                    num_r += 1
+                r[neighbor] += share
+                if queued[neighbor] == 0:
+                    nb_degree = offsets[neighbor + 1] - offsets[neighbor]
+                    if r[neighbor] >= eps * nb_degree:
+                        if tail == qcap:
+                            qcap *= 2
+                            grown = np.empty(qcap, dtype=np.int64)
+                            grown[:tail] = queue[:tail]
+                            queue = grown
+                        queue[tail] = neighbor
+                        tail += 1
+                        queued[neighbor] = 1
+    p_keys = p_order[:num_p].copy()
+    r_keys = r_order[:num_r].copy()
+    return p_keys, p[p_keys], r_keys, r[r_keys], pushes, touched
+
+
+@njit(cache=True)
+def _sweep_scan(offsets, neighbors, ordered, degrees):  # pragma: no cover
+    n = len(ordered)
+    members = np.zeros(len(offsets) - 1, dtype=np.uint8)
+    volumes = np.empty(n, dtype=np.int64)
+    cuts = np.empty(n, dtype=np.int64)
+    vol = 0
+    cut = 0
+    for i in range(n):
+        vertex = ordered[i]
+        vol += degrees[i]
+        for edge in range(offsets[vertex], offsets[vertex + 1]):
+            if members[neighbors[edge]] != 0:
+                cut -= 1
+            else:
+                cut += 1
+        members[vertex] = 1
+        volumes[i] = vol
+        cuts[i] = cut
+    return volumes, cuts
+
+
+@njit(cache=True)
+def _walk_filter(offsets, current, active):  # pragma: no cover
+    active_out = np.empty(len(active), dtype=np.int64)
+    vertices_out = np.empty(len(active), dtype=np.int64)
+    kept = 0
+    for i in range(len(active)):
+        lane = active[i]
+        vertex = current[lane]
+        if offsets[vertex + 1] - offsets[vertex] > 0:
+            active_out[kept] = lane
+            vertices_out[kept] = vertex
+            kept += 1
+    return active_out[:kept].copy(), vertices_out[:kept].copy()
+
+
+@njit(cache=True)
+def _walk_advance(offsets, neighbors, current, active, vertices, uniforms):  # pragma: no cover
+    for i in range(len(active)):
+        vertex = vertices[i]
+        degree = offsets[vertex + 1] - offsets[vertex]
+        pick = np.int64(uniforms[i] * degree)
+        current[active[i]] = neighbors[offsets[vertex] + pick]
+
+
+class NumbaKernels:
+    """The kernel set backed by the jitted functions."""
+
+    name = "numba"
+    ppr_push = staticmethod(_ppr_push)
+    sweep_scan = staticmethod(_sweep_scan)
+    walk_filter = staticmethod(_walk_filter)
+    walk_advance = staticmethod(_walk_advance)
+
+
+def build() -> NumbaKernels:
+    return NumbaKernels()
+
+
+def warm() -> None:
+    """Force JIT compilation of every kernel on a 2-vertex graph."""
+    offsets = np.array([0, 1, 2], dtype=np.int64)
+    neighbors = np.array([1, 0], dtype=np.int64)
+    seeds = np.array([0], dtype=np.int64)
+    _ppr_push(offsets, neighbors, seeds, 0.1, 1e-2, True)
+    ordered = np.array([0, 1], dtype=np.int64)
+    degrees = np.array([1, 1], dtype=np.int64)
+    _sweep_scan(offsets, neighbors, ordered, degrees)
+    current = np.array([0, 1], dtype=np.int64)
+    active = np.array([0, 1], dtype=np.int64)
+    kept, vertices = _walk_filter(offsets, current, active)
+    _walk_advance(offsets, neighbors, current, kept, vertices, np.array([0.5, 0.5]))

@@ -58,6 +58,7 @@ from ..core.api import ALGORITHMS
 from ..engine.executor import BatchEngine, ExecutionSession, JobOutcome, resolve_engine
 from ..engine.jobs import DiffusionJob
 from ..engine.scheduler import estimate_cost
+from ..kernels import resolve_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import ResultCache
@@ -120,10 +121,12 @@ class DiffusionService:
         ``None`` infers serial/process/sharded from ``workers`` and
         ``shards`` exactly like the engine constructor.  ``workers``,
         ``cache``, ``start_method``, ``schedule``, ``shards``,
-        ``max_resident_shards`` and ``spill_shards`` follow
+        ``max_resident_shards``, ``spill_shards`` and ``kernel`` follow
         :func:`repro.engine.resolve_engine` — with ``shards=`` the service
         executes through the shard-routed backend, so a memory-capped
-        process serves the graph with only each query's shard(s) resident.
+        process serves the graph with only each query's shard(s) resident;
+        ``kernel`` sets the default loop implementation
+        (:mod:`repro.kernels`) stamped onto jobs that don't choose one.
     max_batch:
         Most jobs one micro-batch may carry (default 32).  Smaller batches
         mean lower interactive latency under bulk load, at some dispatch
@@ -159,6 +162,7 @@ class DiffusionService:
         shards: int | None = None,
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
+        kernel: str | None = None,
         max_batch: int = 32,
         max_linger: float = 0.002,
         max_batch_cost: float | None = None,
@@ -181,6 +185,7 @@ class DiffusionService:
             shards=shards,
             max_resident_shards=max_resident_shards,
             spill_shards=spill_shards,
+            kernel=kernel,
         )
         self.max_batch = max_batch
         self.max_linger = max_linger
@@ -322,10 +327,16 @@ class DiffusionService:
         method: str = "pr-nibble",
         rng: int = 0,
         priority: str = "interactive",
+        kernel: str | None = None,
         **params: Any,
     ) -> "asyncio.Future[JobOutcome]":
-        """Convenience: build the job from loose (seeds, method, params)."""
-        job = DiffusionJob.make(seeds, method=method, params=params, rng=rng)
+        """Convenience: build the job from loose (seeds, method, params).
+
+        ``kernel=None`` (default) inherits the service's engine default;
+        an explicit value overrides it for this query only.  Either way
+        the result is bit-identical — the knob only changes speed.
+        """
+        job = DiffusionJob.make(seeds, method=method, params=params, rng=rng, kernel=kernel)
         return self.submit(job, priority=priority)
 
     async def cluster(
@@ -334,6 +345,7 @@ class DiffusionService:
         method: str = "pr-nibble",
         rng: int = 0,
         priority: str = "interactive",
+        kernel: str | None = None,
         **params: Any,
     ) -> "ClusterResult":
         """One awaited query, returned as the high-level `ClusterResult`."""
@@ -343,7 +355,7 @@ class DiffusionService:
                 "build the service with include_vectors=True"
             )
         outcome = await self.submit_query(
-            seeds, method=method, rng=rng, priority=priority, **params
+            seeds, method=method, rng=rng, priority=priority, kernel=kernel, **params
         )
         return outcome.to_cluster_result()
 
@@ -361,6 +373,11 @@ class DiffusionService:
             params_cls(**job.params)
         except (TypeError, ValueError) as error:
             raise ValueError(f"invalid {job.method} parameters: {error}") from None
+        # Fail unknown/unavailable kernels here, synchronously, for the
+        # same reason as bad parameters: one bad job must not poison its
+        # micro-batch from inside a worker.  Raises ValueError or
+        # KernelUnavailableError with the actionable message.
+        resolve_kernel(job.kernel)
         num_vertices = self.engine.graph.num_vertices
         for seed in job.seeds:
             if not 0 <= seed < num_vertices:

@@ -19,6 +19,7 @@ import repro.engine
 import repro.engine.scheduler
 import repro.graph.shared
 import repro.graph.sharded
+import repro.kernels
 import repro.prims.scan
 import repro.serve.service
 
@@ -28,6 +29,7 @@ MODULES = [
     repro.engine.scheduler,
     repro.graph.shared,
     repro.graph.sharded,
+    repro.kernels,
     repro.prims.scan,
     repro.serve.service,
 ]

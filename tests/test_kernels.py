@@ -1,0 +1,248 @@
+"""Unit tests for the kernel plane's selection machinery (repro.kernels).
+
+The contract: ``kernel=None`` is exactly the historical Python behaviour,
+``"auto"`` degrades gracefully (never raises, silently picks ``"python"``
+when no compiled backend exists), explicitly requesting an unavailable
+backend fails loudly with an actionable message, and unknown names are a
+``ValueError`` everywhere the knob surfaces (core, engine, serve, CLI).
+
+Availability-dependent behaviour is tested twice: once against whatever
+this environment really provides, and once against *simulated*
+availability (monkeypatched probe caches), so the no-numba CI job and the
+numba CI job both exercise every branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels_mod
+from repro.engine import BatchEngine, DiffusionJob
+from repro.engine.scheduler import KERNEL_COST_SCALE, estimate_cost, kernel_cost_scale
+from repro.graph import CSRGraph, ShardedCSR, barbell_graph
+from repro.kernels import (
+    KERNELS,
+    KernelUnavailableError,
+    available_kernels,
+    csr_arrays,
+    ensure_warm,
+    get_kernels,
+    resolve_kernel,
+)
+
+
+def simulate(monkeypatch, available: tuple[str, ...]) -> None:
+    """Pretend exactly ``available`` compiled backends probe successfully."""
+    sets = {"python": kernels_mod._SETS["python"]}
+    errors: dict[str, Exception] = {}
+    for name in ("numba", "c"):
+        if name in available:
+            sets[name] = kernels_mod._SETS.get(name, object())
+        else:
+            errors[name] = KernelUnavailableError(
+                kernels_mod._unavailable_message(name, ImportError("simulated"))
+            )
+    monkeypatch.setattr(kernels_mod, "_SETS", sets)
+    monkeypatch.setattr(kernels_mod, "_ERRORS", errors)
+    monkeypatch.setattr(kernels_mod, "_AUTO", None)
+
+
+class TestResolveKernel:
+    def test_none_and_python_mean_python(self):
+        assert resolve_kernel(None) == "python"
+        assert resolve_kernel("python") == "python"
+
+    def test_unknown_kernel_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("fortran")
+
+    def test_auto_resolves_to_an_available_kernel(self):
+        assert resolve_kernel("auto") in available_kernels()
+
+    def test_python_always_available(self):
+        assert "python" in available_kernels()
+        assert set(available_kernels()) <= set(KERNELS)
+
+    def test_auto_prefers_numba_then_c_then_python(self, monkeypatch):
+        simulate(monkeypatch, ("numba", "c"))
+        assert resolve_kernel("auto") == "numba"
+        simulate(monkeypatch, ("c",))
+        assert resolve_kernel("auto") == "c"
+
+    def test_auto_silently_falls_back_to_python(self, monkeypatch):
+        simulate(monkeypatch, ())
+        assert resolve_kernel("auto") == "python"
+        # memoised: the second resolution must not re-probe
+        assert resolve_kernel("auto") == "python"
+
+    def test_explicit_numba_raises_actionable_error_when_missing(self, monkeypatch):
+        simulate(monkeypatch, ())
+        with pytest.raises(KernelUnavailableError, match=r"repro\[kernels\]"):
+            resolve_kernel("numba")
+
+    def test_explicit_c_raises_actionable_error_when_missing(self, monkeypatch):
+        simulate(monkeypatch, ())
+        with pytest.raises(KernelUnavailableError, match="compiler"):
+            resolve_kernel("c")
+
+    def test_environment_matches_probe(self):
+        # Whatever this host really has: requesting each available kernel
+        # succeeds, requesting each unavailable one raises.
+        ready = available_kernels()
+        for name in KERNELS:
+            if name in ready:
+                assert resolve_kernel(name) == name
+                assert get_kernels(name) is not None
+            else:
+                with pytest.raises(KernelUnavailableError):
+                    resolve_kernel(name)
+
+
+class TestCSRArrays:
+    def test_csr_graph_exposes_arrays(self):
+        graph = barbell_graph(6)
+        arrays = csr_arrays(graph)
+        assert arrays is not None
+        offsets, neighbors = arrays
+        assert offsets is graph.offsets and neighbors is graph.neighbors
+
+    def test_shard_view_escalates_to_python(self):
+        graph = barbell_graph(6)
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            with sharded.view() as view:
+                assert csr_arrays(view) is None
+
+    def test_non_graph_objects_return_none(self):
+        assert csr_arrays(object()) is None
+        assert csr_arrays(None) is None
+
+
+class TestEnsureWarm:
+    def test_memoised_second_call_is_free(self):
+        first = ensure_warm("python")
+        assert first >= 0.0
+        assert ensure_warm("python") == 0.0
+        for name in available_kernels():
+            ensure_warm(name)
+            assert ensure_warm(name) == 0.0
+
+    def test_unknown_kernel_still_raises(self):
+        with pytest.raises(ValueError):
+            ensure_warm("fortran")
+
+
+class TestSchedulerScale:
+    def test_python_and_none_scale_is_unity(self):
+        assert kernel_cost_scale(None) == 1.0
+        assert kernel_cost_scale("python") == 1.0
+
+    def test_compiled_kernels_scale_below_unity(self, monkeypatch):
+        simulate(monkeypatch, ("numba", "c"))
+        assert kernel_cost_scale("numba") == KERNEL_COST_SCALE["numba"] < 1.0
+        assert kernel_cost_scale("c") == KERNEL_COST_SCALE["c"] < 1.0
+
+    def test_bad_kernels_never_raise_in_scheduling(self, monkeypatch):
+        simulate(monkeypatch, ())
+        assert kernel_cost_scale("fortran") == 1.0
+        assert kernel_cost_scale("numba") == 1.0  # unavailable -> python-like
+
+    def test_estimate_cost_scales_by_job_kernel(self, monkeypatch):
+        simulate(monkeypatch, ("c",))
+        python_job = DiffusionJob.make(0, params={"alpha": 0.05, "eps": 1e-6})
+        compiled_job = DiffusionJob.make(
+            0, params={"alpha": 0.05, "eps": 1e-6}, kernel="c"
+        )
+        assert estimate_cost(compiled_job) == pytest.approx(
+            KERNEL_COST_SCALE["c"] * estimate_cost(python_job)
+        )
+
+
+class TestKnobSurfaces:
+    """The knob is validated eagerly at every layer it surfaces."""
+
+    def test_engine_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            BatchEngine(barbell_graph(4), kernel="fortran")
+
+    def test_engine_rejects_unavailable_kernel(self, monkeypatch):
+        simulate(monkeypatch, ())
+        with pytest.raises(KernelUnavailableError):
+            BatchEngine(barbell_graph(4), kernel="numba")
+
+    def test_local_cluster_rejects_unknown_kernel(self):
+        from repro import local_cluster
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            local_cluster(barbell_graph(4), 0, kernel="fortran")
+
+    def test_parallel_paths_validate_but_ignore(self):
+        # The BSP diffusions and the parallel sweep have no compiled twin;
+        # the knob must still be validated there, not silently dropped.
+        from repro import local_cluster
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            local_cluster(barbell_graph(4), 0, parallel=True, kernel="fortran")
+        result = local_cluster(barbell_graph(4), 0, parallel=True, kernel="auto")
+        assert result.size > 0
+
+    def test_methods_without_twins_accept_the_knob(self):
+        from repro import local_cluster
+
+        for method in ("nibble", "hk-pr"):
+            plain = local_cluster(barbell_graph(6), 0, method=method, parallel=False)
+            knobbed = local_cluster(
+                barbell_graph(6), 0, method=method, parallel=False, kernel="auto"
+            )
+            assert np.array_equal(plain.cluster, knobbed.cluster)
+            with pytest.raises(ValueError, match="unknown kernel"):
+                local_cluster(
+                    barbell_graph(6), 0, method=method, parallel=False, kernel="fortran"
+                )
+
+    def test_service_validates_kernel_synchronously(self):
+        import asyncio
+
+        from repro.serve import DiffusionService
+
+        async def scenario():
+            async with DiffusionService(barbell_graph(6)) as service:
+                with pytest.raises(ValueError, match="unknown kernel"):
+                    service.submit_query(0, kernel="fortran")
+                outcome = await service.submit_query(0, kernel="auto", eps=1e-4)
+                return outcome.size
+
+        assert asyncio.run(scenario()) > 0
+
+    def test_cli_kernels_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "python" in out and "auto ->" in out
+
+    def test_cli_cluster_accepts_kernel_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        graph = barbell_graph(8)
+        from repro.graph import save_npz
+
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert main(["cluster", str(path), "--kernel", "auto", "--param", "eps=1e-5"]) == 0
+        assert "cluster:" in capsys.readouterr().out
+
+
+class TestGraphIntegration:
+    def test_kernels_see_shared_memory_graphs(self):
+        # A zero-copy attached graph exposes ndarray offsets/neighbors, so
+        # compiled kernels engage on it exactly as on the original.
+        from repro.graph.shared import SharedCSR
+
+        graph = barbell_graph(8)
+        with graph.share() as shared:
+            with SharedCSR.attach(shared.handle()) as attached:
+                assert isinstance(attached.graph, CSRGraph)
+                arrays = csr_arrays(attached.graph)
+                assert arrays is not None
+                assert np.array_equal(arrays[0], graph.offsets)

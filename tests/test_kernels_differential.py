@@ -1,0 +1,268 @@
+"""Cross-kernel differential harness: compiled kernels vs the Python loops.
+
+Hypothesis generates random CSR graphs (edge lists over a bounded vertex
+set, the same strategy as the PR-5 property suite) and drives every
+compiled kernel available in this environment through seed/alpha/eps
+grids, asserting **bit identity** with ``kernel="python"`` — not
+approximate equality.  The compiled kernels replicate the reference
+loops' IEEE-754 operation order exactly, so any divergence is a kernel
+bug, never a tolerance question.  Checked per case:
+
+* the ``p`` and ``r`` sparse vectors: values *and* entry order (entry
+  order is what ``vector_items`` serialises into caches and across
+  process boundaries);
+* the sweep profile: order, volumes, cuts, conductances, best index;
+* the counters: pushes, touched edges;
+* the recorded work/depth profile (cost accounting must not depend on
+  the kernel, or cache entries would disagree);
+* rand-HK-PR walks: same rng seed => same destination histogram.
+
+On hosts with no compiled backend the cross-kernel cases skip, but the
+array-twin cases (``repro.kernels.reference`` vs the object-level core
+loops — two independent Python renderings of the same algorithm) always
+run, so the harness is never vacuous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PRNibbleParams,
+    RandHKPRParams,
+    pr_nibble,
+    rand_hk_pr,
+    sweep_cut,
+)
+from repro.core.result import vector_items
+from repro.core.sweep import sweep_order
+from repro.graph import ShardedCSR, barbell_graph, from_edge_list
+from repro.kernels import available_kernels, reference
+from repro.runtime import track
+
+COMPILED = tuple(name for name in available_kernels() if name != "python")
+
+compiled_kernels = pytest.mark.parametrize(
+    "kernel",
+    COMPILED
+    or [pytest.param("none", marks=pytest.mark.skip(reason="no compiled kernel"))],
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 24), st.integers(0, 24)),
+    min_size=1,
+    max_size=120,
+)
+
+param_grid = st.sampled_from(
+    [
+        (0.1, 1e-4, False),
+        (0.1, 1e-4, True),
+        (0.05, 1e-5, False),
+        (0.05, 1e-5, True),
+        (0.2, 1e-3, True),
+    ]
+)
+
+
+def _connected_seed(graph):
+    degrees = graph.degrees()
+    eligible = np.flatnonzero(degrees > 0)
+    return None if len(eligible) == 0 else int(eligible[0])
+
+
+def assert_diffusions_identical(a, b):
+    a_keys, a_values = vector_items(a.vector)
+    b_keys, b_values = vector_items(b.vector)
+    assert np.array_equal(a_keys, b_keys), "p entry order diverged"
+    assert np.array_equal(a_values, b_values), "p values diverged"
+    assert a.pushes == b.pushes
+    assert a.touched_edges == b.touched_edges
+    assert a.iterations == b.iterations
+
+
+def assert_residuals_identical(a, b):
+    a_keys, a_values = vector_items(a.extras["residual"])
+    b_keys, b_values = vector_items(b.extras["residual"])
+    assert np.array_equal(a_keys, b_keys), "r entry order diverged"
+    assert np.array_equal(a_values, b_values), "r values diverged"
+    assert a.extras["residual_mass"] == b.extras["residual_mass"]
+
+
+def assert_sweeps_identical(a, b):
+    assert np.array_equal(a.order, b.order)
+    assert np.array_equal(a.volumes, b.volumes)
+    assert np.array_equal(a.cuts, b.cuts)
+    assert np.array_equal(a.conductances, b.conductances)
+    assert a.best_index == b.best_index
+
+
+class TestArrayTwinVsCoreLoop:
+    """reference.py vs repro.core: two independent Python renderings."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists, param_grid)
+    def test_ppr_push_twin_matches_core(self, edges, grid):
+        alpha, eps, optimized = grid
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        params = PRNibbleParams(alpha=alpha, eps=eps, optimized=optimized)
+        core = pr_nibble(graph, seed, params, parallel=False)
+        seeds = np.asarray([seed], dtype=np.int64)
+        p_keys, p_values, r_keys, r_values, pushes, touched = reference.ppr_push(
+            graph.offsets, graph.neighbors, seeds, alpha, eps, optimized
+        )
+        core_p_keys, core_p_values = vector_items(core.vector)
+        assert np.array_equal(p_keys, core_p_keys)
+        assert np.array_equal(p_values, core_p_values)
+        core_r_keys, core_r_values = vector_items(core.extras["residual"])
+        assert np.array_equal(r_keys, core_r_keys)
+        assert np.array_equal(r_values, core_r_values)
+        assert pushes == core.pushes and touched == core.touched_edges
+
+    @settings(max_examples=30, deadline=None)
+    @given(edge_lists)
+    def test_sweep_scan_twin_matches_core(self, edges):
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        result = pr_nibble(graph, seed, PRNibbleParams(alpha=0.1, eps=1e-4))
+        if result.support_size() == 0:
+            return
+        core = sweep_cut(graph, result.vector, parallel=False)
+        ordered, degrees = sweep_order(graph, result.vector)
+        volumes, cuts = reference.sweep_scan(
+            graph.offsets, graph.neighbors, ordered, degrees
+        )
+        assert np.array_equal(volumes, core.volumes)
+        assert np.array_equal(cuts, core.cuts)
+
+
+class TestPRNibbleDifferential:
+    @compiled_kernels
+    @settings(max_examples=25, deadline=None)
+    @given(edge_lists, param_grid)
+    def test_bit_identical_p_r_and_counters(self, kernel, edges, grid):
+        alpha, eps, optimized = grid
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        params = PRNibbleParams(alpha=alpha, eps=eps, optimized=optimized)
+        with track() as py_profile:
+            python = pr_nibble(graph, seed, params, parallel=False, kernel="python")
+        with track() as k_profile:
+            compiled = pr_nibble(graph, seed, params, parallel=False, kernel=kernel)
+        assert_diffusions_identical(python, compiled)
+        assert_residuals_identical(python, compiled)
+        assert k_profile.work == py_profile.work
+        assert k_profile.depth == py_profile.depth
+
+    @compiled_kernels
+    @settings(max_examples=15, deadline=None)
+    @given(edge_lists, st.sets(st.integers(0, 24), min_size=2, max_size=4))
+    def test_multi_seed_sets(self, kernel, edges, seed_set):
+        graph = from_edge_list(edges, num_vertices=25)
+        degrees = graph.degrees()
+        seeds = np.asarray(sorted(s for s in seed_set if degrees[s] > 0), dtype=np.int64)
+        if len(seeds) == 0:
+            return
+        params = PRNibbleParams(alpha=0.1, eps=1e-4)
+        python = pr_nibble(graph, seeds, params, parallel=False, kernel="python")
+        compiled = pr_nibble(graph, seeds, params, parallel=False, kernel=kernel)
+        assert_diffusions_identical(python, compiled)
+        assert_residuals_identical(python, compiled)
+
+
+class TestSweepDifferential:
+    @compiled_kernels
+    @settings(max_examples=25, deadline=None)
+    @given(edge_lists)
+    def test_bit_identical_sweep_profile(self, kernel, edges):
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        result = pr_nibble(graph, seed, PRNibbleParams(alpha=0.1, eps=1e-4))
+        if result.support_size() == 0:
+            return
+        with track() as py_profile:
+            python = sweep_cut(graph, result.vector, parallel=False, kernel="python")
+        with track() as k_profile:
+            compiled = sweep_cut(graph, result.vector, parallel=False, kernel=kernel)
+        assert_sweeps_identical(python, compiled)
+        assert k_profile.work == py_profile.work
+        assert k_profile.depth == py_profile.depth
+
+
+class TestRandWalkDifferential:
+    @compiled_kernels
+    @settings(max_examples=10, deadline=None)
+    @given(edge_lists, st.integers(0, 2**31 - 1))
+    def test_bit_identical_walks(self, kernel, edges, rng_seed):
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        params = RandHKPRParams(t=3.0, max_walk_length=6, num_walks=200)
+        python = rand_hk_pr(
+            graph, seed, params, parallel=True, rng=rng_seed, kernel="python"
+        )
+        compiled = rand_hk_pr(
+            graph, seed, params, parallel=True, rng=rng_seed, kernel=kernel
+        )
+        assert_diffusions_identical(python, compiled)
+
+
+class TestShardEscalation:
+    """Cut-adjacent seeds on 2-shard graphs: the compiled whole-graph path
+    must agree bit-for-bit with the shard view's Python escalation."""
+
+    @compiled_kernels
+    def test_boundary_seeds_agree_across_planes(self, kernel):
+        from repro.engine import DiffusionJob
+        from repro.engine.executor import run_job
+
+        graph = barbell_graph(16)  # the bridge edge is the natural cut
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            boundary = sharded.handle().boundaries[1]
+            seeds = [boundary - 1, boundary]  # one seed each side of the cut
+            with sharded.view() as view:
+                for seed in seeds:
+                    job = DiffusionJob.make(
+                        seed, params={"alpha": 0.1, "eps": 1e-5}, kernel=kernel
+                    )
+                    whole = run_job(graph, job, parallel=False, include_vector=True)
+                    shard = run_job(view, job, parallel=False, include_vector=True)
+                    assert np.array_equal(whole.vector_keys, shard.vector_keys)
+                    assert np.array_equal(whole.vector_values, shard.vector_values)
+                    assert whole.pushes == shard.pushes
+                    assert whole.work == shard.work
+                    assert whole.conductance == shard.conductance
+                    assert np.array_equal(whole.cluster, shard.cluster)
+
+    @compiled_kernels
+    @settings(max_examples=10, deadline=None)
+    @given(edge_lists)
+    def test_random_graphs_across_planes(self, kernel, edges):
+        from repro.engine import DiffusionJob
+        from repro.engine.executor import run_job
+
+        graph = from_edge_list(edges, num_vertices=25)
+        seed = _connected_seed(graph)
+        if seed is None:
+            return
+        job = DiffusionJob.make(seed, params={"alpha": 0.1, "eps": 1e-4}, kernel=kernel)
+        whole = run_job(graph, job, parallel=False, include_vector=True)
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            with sharded.view() as view:
+                shard = run_job(view, job, parallel=False, include_vector=True)
+        assert np.array_equal(whole.vector_keys, shard.vector_keys)
+        assert np.array_equal(whole.vector_values, shard.vector_values)
+        assert whole.work == shard.work and whole.depth == shard.depth
