@@ -51,13 +51,16 @@ from . import bench, cache, core, engine, graph, kernels, ligra, prims, runtime,
 from .cache import CacheStats, CachingBackend, ResultCache
 from .core import (
     ALGORITHMS,
+    ClusterRequest,
     ClusterResult,
+    EngineOptions,
     EvolvingSetParams,
     HKPRParams,
     LocalClusterer,
     NibbleParams,
     PRNibbleParams,
     RandHKPRParams,
+    RequestError,
     async_local_cluster,
     cluster_many,
     cluster_stats,
@@ -74,7 +77,7 @@ from .core import (
 from .engine import BatchEngine, DiffusionJob, job_grid
 from .graph import CSRGraph, load_proxy
 from .runtime import PAPER_MACHINE, MachineModel, track
-from .serve import DiffusionService
+from .serve import DiffusionServer, DiffusionService
 
 __version__ = "1.0.0"
 
@@ -94,7 +97,11 @@ __all__ = [
     "serve",
     "ALGORITHMS",
     "BatchEngine",
+    "ClusterRequest",
+    "DiffusionServer",
     "DiffusionService",
+    "EngineOptions",
+    "RequestError",
     "ClusterResult",
     "DiffusionJob",
     "job_grid",

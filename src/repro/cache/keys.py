@@ -37,36 +37,19 @@ from __future__ import annotations
 
 import hashlib
 import json
-import numbers
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Any
 
 from ..core.api import ALGORITHMS
+
+# The canonicaliser moved to the unified options layer (PR 7) so the
+# cache key, the request validator and the wire schema share one notion
+# of "the same query"; re-exported here for the historical import path.
+from ..core.options import _canonical_value as _canonical_value
+from ..core.options import canonical_params
 from ..engine.jobs import DiffusionJob
 
 __all__ = ["CacheKey", "canonical_params", "cache_key_for"]
-
-
-def _canonical_value(value: Any) -> Any:
-    """Collapse numeric types so equal numbers compare and hash equal."""
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, numbers.Integral):
-        return int(value)
-    if isinstance(value, numbers.Real):
-        return float(value)
-    return value
-
-
-def canonical_params(method: str, params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
-    """Defaults-filled, numerically normalised, sorted parameter tuple."""
-    if method not in ALGORITHMS:
-        raise ValueError(
-            f"unknown method {method!r}; choose from {sorted(ALGORITHMS)}"
-        )
-    params_cls = ALGORITHMS[method][0]
-    filled = asdict(params_cls(**params))
-    return tuple(sorted((name, _canonical_value(value)) for name, value in filled.items()))
 
 
 @dataclass(frozen=True)

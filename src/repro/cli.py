@@ -20,12 +20,19 @@ Commands
     Inspect (``stats``) or empty (``clear``) an on-disk result cache
     directory, as populated by ``ncp``/``batch`` with ``--cache-dir``.
 ``serve``
-    Run the async serving plane as a stdin/stdout JSON loop: one request
-    object per input line (``{"seeds": 5, "method": "pr-nibble",
-    "params": {"eps": 1e-5}}``), one result object per output line, in
-    request order.  Requests micro-batch onto one long-lived worker pool;
-    ``"priority": "bulk"`` queues behind interactive requests, and a
-    ``"kernel"`` field overrides the loop implementation per request.
+    Run the async serving plane.  Default: a stdin/stdout JSON loop —
+    one request object per input line (``{"seeds": 5, "method":
+    "pr-nibble", "params": {"eps": 1e-5}}``), one reply object per
+    output line, in request order.  With ``--listen HOST:PORT`` the same
+    codec is served over TCP (NDJSON lines and HTTP/1.1 POST on one
+    port) with per-client round-robin fairness, ``--rate``/``--burst``
+    token-bucket limiting, ``--max-inflight``/``--max-pending`` caps and
+    structured 429 backpressure — see ``docs/serving.md`` for wire
+    schema v1.  Either way requests micro-batch onto one long-lived
+    worker pool; ``"priority": "bulk"`` queues behind interactive
+    requests, and a ``"kernel"`` field overrides the loop implementation
+    per request.  Malformed requests get a structured ``{"error":
+    {"message", "code", "field"}}`` reply naming the offending field.
 ``kernels``
     Show which loop implementations (:mod:`repro.kernels`) are available
     in this environment and what ``--kernel auto`` resolves to.
@@ -301,12 +308,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_options(args: argparse.Namespace, cache) -> "object":
+    """The serving engine's knobs as one canonical EngineOptions record."""
+    from .core.options import EngineOptions
+
+    workers = max(1, args.workers)
+    if args.shards is not None:
+        return EngineOptions(
+            backend="sharded",
+            shards=args.shards,
+            max_resident_shards=args.max_resident_shards,
+            spill_shards=args.spill_shards,
+            include_vectors=False,
+            cache=cache,
+            kernel=args.kernel,
+        )
+    return EngineOptions(
+        workers=workers if workers > 1 else None,
+        include_vectors=False,
+        cache=cache,
+        start_method=args.start_method,
+        schedule=args.schedule,
+        kernel=args.kernel,
+    )
+
+
+def _parse_listen(spec: str) -> tuple[str, int]:
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"error: --listen expects HOST:PORT (PORT may be 0), got {spec!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from .engine import DiffusionJob
+    from .core.options import RequestError
     from .serve import DiffusionService
+    from .serve.protocol import error_reply, outcome_reply, parse_request_line
 
     graph = _load_graph(args.graph)
     cache = _cache_from_args(args)
@@ -320,15 +362,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     service = DiffusionService(
         graph,
-        workers=workers if workers > 1 else None,
-        include_vectors=False,
-        cache=cache,
-        start_method=None if args.shards is not None else args.start_method,
-        schedule=None if args.shards is not None else args.schedule,
-        shards=args.shards,
-        max_resident_shards=args.max_resident_shards,
-        spill_shards=args.spill_shards,
-        kernel=args.kernel,
+        options=_serve_options(args, cache),
         max_batch=args.max_batch,
         max_linger=args.max_linger / 1000.0,
         max_batch_cost=args.max_batch_cost,
@@ -336,40 +370,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     stream_in = sys.stdin
     stream_out = sys.stdout
 
-    def _outcome_payload(request_id: object, outcome) -> dict:
-        return {
-            "id": request_id,
-            "seeds": list(outcome.job.seeds),
-            "method": outcome.job.method,
-            "size": outcome.size,
-            "conductance": outcome.conductance if outcome.sweep is not None else None,
-            "support": outcome.support_size,
-            "pushes": outcome.pushes,
-            "seconds": outcome.wall_seconds,
-            "cached": outcome.cached,
-        }
+    def _ingest(loop, text: str, default_id: int):
+        """One raw request line -> a future reply object (shared codec)."""
+        reply = loop.create_future()
+        request_id: object = default_id
+        try:
+            request = parse_request_line(text, default_method=args.method)
+            if request.id is not None:
+                request_id = request.id
+            future = service.submit(request.job(), priority=request.priority)
+        except Exception as error:
+            # A malformed line answers with a structured error object
+            # (RequestError carries the offending field); the service —
+            # and every other pending request — keeps going.
+            reply.set_result(error_reply(error, request_id))
+            return reply
 
-    async def _loop() -> int:
+        def _resolve(done) -> None:
+            if done.cancelled() or done.exception() is not None:
+                error = done.exception() if not done.cancelled() else (
+                    RequestError(None, "request dropped during shutdown", code=503)
+                )
+                reply.set_result(error_reply(error, request_id))
+            else:
+                reply.set_result(
+                    outcome_reply(request_id, done.result(), request.include_cluster)
+                )
+
+        future.add_done_callback(_resolve)
+        return reply
+
+    async def _stdin_loop() -> int:
         loop = asyncio.get_running_loop()
         results: asyncio.Queue = asyncio.Queue()
 
         async def printer() -> None:
-            # Results print in request order — each awaited future may
+            # Replies print in request order — each awaited future may
             # have resolved long ago while later requests streamed in.
             while True:
                 item = await results.get()
                 if item is None:
                     return
-                request_id, future = item
-                try:
-                    payload = _outcome_payload(request_id, await future)
-                except Exception as error:
-                    payload = {"id": request_id, "error": str(error)}
-                print(json.dumps(payload), file=stream_out, flush=True)
+                print(json.dumps(await item), file=stream_out, flush=True)
 
         async with service:
             printer_task = asyncio.create_task(printer())
-            request_id = 0
+            counter = 0
             while True:
                 line = await loop.run_in_executor(None, stream_in.readline)
                 if not line:
@@ -377,29 +423,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 line = line.strip()
                 if not line:
                     continue
-                request_id += 1
-                identifier: object = request_id
-                try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
-                    identifier = request.get("id", request_id)
-                    job = DiffusionJob.make(
-                        request["seeds"],
-                        method=request.get("method", args.method),
-                        params=request.get("params", {}),
-                        rng=int(request.get("rng", 0)),
-                        kernel=request.get("kernel"),
-                    )
-                    future = service.submit(
-                        job, priority=request.get("priority", "interactive")
-                    )
-                except Exception as error:
-                    # A malformed line answers with an error object; the
-                    # service (and every other pending request) keeps going.
-                    future = loop.create_future()
-                    future.set_exception(ValueError(f"bad request: {error}"))
-                await results.put((identifier, future))
+                counter += 1
+                await results.put(_ingest(loop, line, counter))
             await results.put(None)
             await printer_task
         print(f"serve: {service.stats.describe()}", file=sys.stderr)
@@ -407,7 +432,61 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"cache: {cache.stats.describe()}", file=sys.stderr)
         return 0
 
-    return asyncio.run(_loop())
+    async def _listen_loop(host: str, port: int) -> int:
+        import signal
+        import threading
+
+        from .serve import DiffusionServer
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        async with service:
+            server = DiffusionServer(
+                service,
+                host,
+                port,
+                max_pending=args.max_pending,
+                max_inflight=args.max_inflight,
+                rate=args.rate,
+                burst=args.burst,
+                default_method=args.method,
+            )
+            async with server:
+                assert server.address is not None
+                bound_host, bound_port = server.address
+                print(
+                    f"serve: listening on {bound_host}:{bound_port}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        loop.add_signal_handler(signum, stop.set)
+                    except (NotImplementedError, RuntimeError):  # pragma: no cover
+                        pass
+
+                def _watch_stdin() -> None:
+                    # A closed stdin also stops the server — the clean way
+                    # for a supervisor (or a test) to ask for a drain.
+                    try:
+                        while stream_in.readline():
+                            pass
+                    except ValueError:  # stdin already closed
+                        pass
+                    loop.call_soon_threadsafe(stop.set)
+
+                threading.Thread(target=_watch_stdin, daemon=True).start()
+                await stop.wait()
+            print(f"serve: {server.stats.describe()}", file=sys.stderr)
+        print(f"serve: {service.stats.describe()}", file=sys.stderr)
+        if cache is not None:
+            print(f"cache: {cache.stats.describe()}", file=sys.stderr)
+        return 0
+
+    if args.listen is not None:
+        host, port = _parse_listen(args.listen)
+        return asyncio.run(_listen_loop(host, port))
+    return asyncio.run(_stdin_loop())
 
 
 def _cmd_kernels(args: argparse.Namespace) -> int:
@@ -570,6 +649,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="COST",
         help="cap a batch's summed scheduler cost estimate, bounding how "
         "long an interactive request can wait behind bulk work",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP instead of stdin: NDJSON and HTTP/1.1 POST on "
+        "one port (wire schema v1), per-client round-robin fairness, "
+        "rate limiting and backpressure; PORT 0 binds an ephemeral port "
+        "(the bound address is printed to stderr)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="with --listen: per-client token-bucket admission rate "
+        "(requests/second; default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="with --listen: token-bucket depth (default: max(1, RATE))",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="with --listen: per-client cap on admitted-but-unanswered "
+        "requests (default 8)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="with --listen: per-client admission-queue depth; beyond it "
+        "requests get a structured 429 reply (default 64)",
     )
     _add_pool_flags(serve)
     _add_shard_flags(serve)

@@ -11,6 +11,14 @@ from .evolving_sets import EvolvingSetParams, EvolvingSetResult, evolving_set_pr
 from .hk_pr import HKPRParams, hk_pr, hk_pr_parallel, hk_pr_sequential, psi_coefficients
 from .ncp import NCPResult, log_binned, ncp_profile
 from .nibble import NibbleParams, nibble, nibble_parallel, nibble_sequential
+from .options import (
+    PRIORITIES,
+    ClusterRequest,
+    EngineOptions,
+    RequestError,
+    canonical_params,
+    validate_params,
+)
 from .pr_nibble import PRNibbleParams, pr_nibble, pr_nibble_parallel, pr_nibble_sequential
 from .quality import ClusterStats, boundary_size, cluster_stats, conductance, volume
 from .rand_hk_pr import (
@@ -32,6 +40,12 @@ __all__ = [
     "cluster_many",
     "local_cluster",
     "async_local_cluster",
+    "PRIORITIES",
+    "ClusterRequest",
+    "EngineOptions",
+    "RequestError",
+    "canonical_params",
+    "validate_params",
     "EvolvingSetParams",
     "EvolvingSetResult",
     "evolving_set_process",

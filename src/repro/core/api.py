@@ -50,10 +50,10 @@ ALGORITHMS: dict[str, tuple[type, Any, bool]] = {
 
 def local_cluster(
     graph: CSRGraph,
-    seeds: int | np.ndarray,
-    method: str = "pr-nibble",
+    seeds: "int | np.ndarray | Any",
+    method: str | None = None,
     parallel: bool = True,
-    rng: np.random.Generator | int = 0,
+    rng: np.random.Generator | int | None = None,
     kernel: str | None = None,
     **param_overrides: Any,
 ) -> ClusterResult:
@@ -65,15 +65,21 @@ def local_cluster(
         The input graph.
     seeds:
         One vertex id or an array of them (the algorithms all "extend to
-        seed sets with multiple vertices", Section 3).
+        seed sets with multiple vertices", Section 3) — or a whole
+        :class:`repro.core.options.ClusterRequest`, the canonical record
+        the serving plane and the wire schema speak, in which case the
+        request carries the method/params/rng/kernel and passing any of
+        them loose as well raises ``ValueError`` (nothing is silently
+        ignored).
     method:
-        ``"nibble"``, ``"pr-nibble"``, ``"hk-pr"`` or ``"rand-hk-pr"``.
+        ``"nibble"``, ``"pr-nibble"`` (the default), ``"hk-pr"`` or
+        ``"rand-hk-pr"``.
     parallel:
         Run the parallel (bulk-synchronous) implementation; ``False``
         selects the sequential reference.
     rng:
         Randomness for ``rand-hk-pr`` (ignored by the deterministic
-        methods).
+        methods; default 0).
     kernel:
         Loop implementation for the hot paths (:mod:`repro.kernels`):
         ``None``/``"python"`` (default), ``"numba"``, ``"c"``, or
@@ -84,6 +90,36 @@ def local_cluster(
         ``alpha=0.01, eps=1e-6`` for PR-Nibble or
         ``t=5, taylor_degree=15`` for HK-PR.
     """
+    from .options import ClusterRequest
+
+    if isinstance(seeds, ClusterRequest):
+        request = seeds
+        carried = [
+            name
+            for name, value in (
+                ("method", method),
+                ("rng", rng),
+                ("kernel", kernel),
+                *sorted(param_overrides.items()),
+            )
+            if value is not None
+        ]
+        if carried:
+            raise ValueError(
+                "the ClusterRequest already carries the query configuration; "
+                f"{', '.join(carried)} would be silently ignored — set them "
+                "on the request instead"
+            )
+        request.validate(num_vertices=graph.num_vertices)
+        method = request.method
+        rng = request.rng
+        kernel = request.kernel
+        param_overrides = dict(request.params)
+        seeds = np.asarray(request.seeds, dtype=np.int64)
+    if method is None:
+        method = "pr-nibble"
+    if rng is None:
+        rng = 0
     if method not in ALGORITHMS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(ALGORITHMS)}")
     params_cls, runner, takes_rng = ALGORITHMS[method]
@@ -172,7 +208,7 @@ def cluster_many(
     graph: CSRGraph,
     seeds: np.ndarray | list[int],
     method: str = "pr-nibble",
-    parallel: bool = True,
+    parallel: bool | None = None,
     rng: np.random.Generator | int = 0,
     engine: "Any | str | None" = None,
     workers: int | None = None,
@@ -180,6 +216,7 @@ def cluster_many(
     start_method: str | None = None,
     schedule: str | None = None,
     kernel: str | None = None,
+    options: "Any | None" = None,
     **param_overrides: Any,
 ) -> list[ClusterResult]:
     """Run :func:`local_cluster` from many seeds as one batch.
@@ -199,7 +236,9 @@ def cluster_many(
     interactive exploration — replay hits instead of re-diffusing.
     ``kernel`` selects the loop implementation applied to every job
     (:mod:`repro.kernels`); outcomes — and cache entries — are
-    bit-identical across kernels.
+    bit-identical across kernels.  ``options`` carries the whole engine
+    knob surface as one :class:`repro.core.options.EngineOptions` record
+    (mutually exclusive with the loose engine kwargs — conflicts raise).
 
     Returns one :class:`ClusterResult` per entry of ``seeds``, in order.
     """
@@ -227,6 +266,7 @@ def cluster_many(
         start_method=start_method,
         schedule=schedule,
         kernel=kernel,
+        options=options,
     )
     if not batch.include_vectors:
         raise ValueError(

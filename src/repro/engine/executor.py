@@ -73,6 +73,7 @@ from .scheduler import SCHEDULES, fifo_chunk_size, plan_chunks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import CachingBackend, ResultCache
+    from ..core.options import EngineOptions
     from ..graph.shared import SharedCSR
 
 __all__ = [
@@ -682,6 +683,12 @@ class BatchEngine:
         unavailable explicit request fails at construction, not in a
         worker.  Outcomes are bit-identical across kernels, and the
         kernel is excluded from cache keys.
+    options:
+        The same knob surface as one frozen, pre-validated record
+        (:class:`repro.core.options.EngineOptions`) — the canonical
+        spelling shared with the CLI and the wire schema.  Passing
+        ``options=`` together with any of the loose kwargs above raises
+        ``ValueError`` (they would be silently ignored otherwise).
 
     >>> from repro.graph import barbell_graph
     >>> from repro.engine import BatchEngine, DiffusionJob
@@ -695,8 +702,8 @@ class BatchEngine:
         graph: CSRGraph,
         backend: "str | PoolBackend | CachingBackend | None" = None,
         workers: int | None = None,
-        parallel: bool = True,
-        include_vectors: bool = True,
+        parallel: bool | None = None,
+        include_vectors: bool | None = None,
         cache: "ResultCache | bool | str | None" = None,
         start_method: str | None = None,
         schedule: str | None = None,
@@ -704,12 +711,42 @@ class BatchEngine:
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
         kernel: str | None = None,
+        options: "EngineOptions | None" = None,
     ) -> None:
         from ..cache import CachingBackend, resolve_cache
 
+        if options is not None:
+            options.reject_loose(
+                "engine",
+                backend=backend,
+                workers=workers,
+                parallel=parallel,
+                include_vectors=include_vectors,
+                cache=cache,
+                start_method=start_method,
+                schedule=schedule,
+                shards=shards,
+                max_resident_shards=max_resident_shards,
+                spill_shards=spill_shards,
+                kernel=kernel,
+            )
+            options.validate()
+            backend = options.backend
+            workers = options.workers
+            parallel = options.parallel
+            include_vectors = options.include_vectors
+            cache = options.cache
+            start_method = options.start_method
+            schedule = options.schedule
+            shards = options.shards
+            max_resident_shards = options.max_resident_shards
+            spill_shards = options.spill_shards
+            kernel = options.kernel
         self.graph = graph
-        self.parallel = parallel
-        self.include_vectors = include_vectors
+        # None is the "engine default" sentinel (it lets the options path
+        # detect explicitly-set loose kwargs); the defaults stay True.
+        self.parallel = True if parallel is None else parallel
+        self.include_vectors = True if include_vectors is None else include_vectors
         if kernel is not None:
             resolve_kernel(kernel)  # fail fast on unknown/unavailable kernels
         self.kernel = kernel
@@ -861,8 +898,8 @@ def resolve_engine(
     graph: CSRGraph,
     engine: BatchEngine | str | None = None,
     workers: int | None = None,
-    parallel: bool = True,
-    include_vectors: bool = True,
+    parallel: bool | None = None,
+    include_vectors: bool | None = None,
     cache: "ResultCache | bool | str | None" = None,
     start_method: str | None = None,
     schedule: str | None = None,
@@ -870,6 +907,7 @@ def resolve_engine(
     max_resident_shards: int | None = None,
     spill_shards: int | None = None,
     kernel: str | None = None,
+    options: "EngineOptions | None" = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
 
@@ -884,7 +922,10 @@ def resolve_engine(
     fingerprints are compared, so an engine built for a content-identical
     copy (say, the same graph reloaded from disk) is accepted rather than
     rejected on object identity.  ``cache``, ``start_method`` and
-    ``schedule`` follow the constructor's spec.
+    ``schedule`` follow the constructor's spec, and ``options=`` carries
+    the whole knob surface as one :class:`repro.core.options.EngineOptions`
+    record (mutually exclusive with the loose kwargs *and* with a
+    prebuilt engine, for the same no-silently-ignored-knob reason).
     """
     if isinstance(engine, BatchEngine):
         if engine.graph is not graph and engine.graph.fingerprint() != graph.fingerprint():
@@ -900,6 +941,7 @@ def resolve_engine(
                 ("max_resident_shards", max_resident_shards),
                 ("spill_shards", spill_shards),
                 ("kernel", kernel),
+                ("options", options),
             )
             if value is not None and value is not False
         ]
@@ -922,4 +964,5 @@ def resolve_engine(
         max_resident_shards=max_resident_shards,
         spill_shards=spill_shards,
         kernel=kernel,
+        options=options,
     )

@@ -10,11 +10,31 @@ queries drained ahead of bulk backlogs.
 * :mod:`repro.serve.service` — :class:`DiffusionService` (submit /
   submit_many / cluster, micro-batching, priority-aware draining),
   :class:`ServiceStats`, :class:`ServiceClosed`.
+* :mod:`repro.serve.net` — :class:`DiffusionServer`, the asyncio TCP
+  transport in front of a service: NDJSON and HTTP/1.1 framings of one
+  codec, per-client round-robin admission, token-bucket rate limiting,
+  in-flight caps, structured 429 backpressure, graceful drain.
+* :mod:`repro.serve.protocol` — that shared codec (wire schema v1):
+  :func:`parse_request`, :func:`outcome_reply`, :func:`error_reply` —
+  also spoken by the ``repro serve`` stdin loop.
 
 See also :func:`repro.core.api.async_local_cluster` (the one-call async
-convenience) and ``python -m repro serve`` (a stdin-JSON demo loop).
+convenience) and ``python -m repro serve`` (stdin or ``--listen``).
 """
 
+from .net import DiffusionServer, ServerStats
+from .protocol import error_reply, outcome_reply, parse_request, parse_request_line
 from .service import PRIORITIES, DiffusionService, ServiceClosed, ServiceStats
 
-__all__ = ["DiffusionService", "ServiceStats", "ServiceClosed", "PRIORITIES"]
+__all__ = [
+    "DiffusionService",
+    "ServiceStats",
+    "ServiceClosed",
+    "PRIORITIES",
+    "DiffusionServer",
+    "ServerStats",
+    "parse_request",
+    "parse_request_line",
+    "outcome_reply",
+    "error_reply",
+]

@@ -1,0 +1,99 @@
+"""The one request/reply codec every serving transport speaks.
+
+``repro serve`` (the stdin/stdout loop) and :class:`repro.serve.net.
+DiffusionServer` (the socket transport) used to risk growing divergent
+JSON dialects; both now parse requests with :func:`parse_request` (a thin
+shim over :meth:`repro.core.options.ClusterRequest.from_wire`) and render
+replies with :func:`outcome_reply` / :func:`error_reply`, so a client
+script written against one transport works unchanged against the other.
+
+Wire schema v1 (one JSON object per request)::
+
+    {"v": 1, "seeds": [5], "method": "pr-nibble",
+     "params": {"eps": 1e-5}, "rng": 0, "priority": "interactive",
+     "kernel": "auto", "include_cluster": false, "id": "q-1"}
+
+``seeds`` is the only required field; a scalar seed is accepted.  With an
+explicit ``"v": 1`` unknown fields are rejected; without it the payload
+is parsed as the legacy loose dialect (unknown fields ignored).  Success
+replies echo ``id`` and carry the flat result record::
+
+    {"id": "q-1", "seeds": [5], "method": "pr-nibble", "size": 8,
+     "conductance": 0.0329, "support": 8, "pushes": 18,
+     "seconds": 0.0004, "cached": false}
+
+plus ``"cluster": [...]`` (sorted member vertex ids) when the request set
+``include_cluster``.  Failures carry a structured error naming the
+offending field instead of a stringified traceback::
+
+    {"id": "q-1", "error": {"message": "...", "code": 400,
+                            "field": "params.alpha"}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from ..core.options import ClusterRequest, RequestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import JobOutcome
+
+__all__ = ["parse_request", "parse_request_line", "outcome_reply", "error_reply"]
+
+
+def parse_request(payload: Any, default_method: str = "pr-nibble") -> ClusterRequest:
+    """One decoded JSON value -> a structurally valid :class:`ClusterRequest`.
+
+    Raises :class:`~repro.core.options.RequestError` (never a raw
+    ``TypeError``/``KeyError``) so transports can answer with a
+    structured error naming the offending field.  Semantic checks
+    (method/params/seed-range) stay with ``ClusterRequest.validate`` —
+    run by ``DiffusionService.submit`` — so the two layers never drift.
+    """
+    return ClusterRequest.from_wire(payload, default_method=default_method)
+
+
+def parse_request_line(line: str, default_method: str = "pr-nibble") -> ClusterRequest:
+    """One raw text line -> a request; malformed JSON is a field-less error."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise RequestError(None, f"request is not valid JSON: {error}") from None
+    return parse_request(payload, default_method=default_method)
+
+
+def outcome_reply(request_id: Any, outcome: "JobOutcome",
+                  include_cluster: bool = False) -> dict[str, Any]:
+    """The flat success reply for one executed job (shape shared by all
+    transports; ``conductance`` is ``null`` for an empty diffusion)."""
+    payload: dict[str, Any] = {
+        "id": request_id,
+        "seeds": list(outcome.job.seeds),
+        "method": outcome.job.method,
+        "size": outcome.size,
+        "conductance": outcome.conductance if outcome.sweep is not None else None,
+        "support": outcome.support_size,
+        "pushes": outcome.pushes,
+        "seconds": outcome.wall_seconds,
+        "cached": outcome.cached,
+    }
+    if include_cluster:
+        payload["cluster"] = outcome.cluster.tolist()
+    return payload
+
+
+def error_reply(error: BaseException, request_id: Any = None) -> dict[str, Any]:
+    """The structured failure reply: ``{"id": ..., "error": {...}}``.
+
+    :class:`RequestError` carries its field and code through verbatim;
+    any other exception (an engine failure surfacing through a future)
+    is wrapped as a field-less 500 so clients can still dispatch on
+    ``error.code`` without string-matching.
+    """
+    if isinstance(error, RequestError):
+        body = error.to_wire()
+    else:
+        body = {"message": str(error) or type(error).__name__, "code": 500}
+    return {"id": request_id, "error": body}

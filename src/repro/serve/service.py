@@ -54,21 +54,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
-from ..core.api import ALGORITHMS
+from ..core.options import PRIORITIES, ClusterRequest
 from ..engine.executor import BatchEngine, ExecutionSession, JobOutcome, resolve_engine
 from ..engine.jobs import DiffusionJob
 from ..engine.scheduler import estimate_cost
-from ..kernels import resolve_kernel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import ResultCache
+    from ..core.options import EngineOptions
     from ..core.result import ClusterResult
     from ..graph.csr import CSRGraph
 
 __all__ = ["DiffusionService", "ServiceStats", "ServiceClosed", "PRIORITIES"]
-
-#: recognised submission priority classes, highest first.
-PRIORITIES = ("interactive", "bulk")
 
 
 class ServiceClosed(RuntimeError):
@@ -154,8 +151,8 @@ class DiffusionService:
         engine: "BatchEngine | str | None" = None,
         *,
         workers: int | None = None,
-        parallel: bool = True,
-        include_vectors: bool = True,
+        parallel: bool | None = None,
+        include_vectors: bool | None = None,
         cache: "ResultCache | bool | str | None" = None,
         start_method: str | None = None,
         schedule: str | None = None,
@@ -163,6 +160,7 @@ class DiffusionService:
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
         kernel: str | None = None,
+        options: "EngineOptions | None" = None,
         max_batch: int = 32,
         max_linger: float = 0.002,
         max_batch_cost: float | None = None,
@@ -186,6 +184,7 @@ class DiffusionService:
             max_resident_shards=max_resident_shards,
             spill_shards=spill_shards,
             kernel=kernel,
+            options=options,
         )
         self.max_batch = max_batch
         self.max_linger = max_linger
@@ -360,30 +359,18 @@ class DiffusionService:
         return outcome.to_cluster_result()
 
     def _validate(self, job: DiffusionJob, priority: str) -> None:
-        if priority not in PRIORITIES:
-            raise ValueError(
-                f"unknown priority {priority!r}; choose from {PRIORITIES}"
-            )
-        if job.method not in ALGORITHMS:
-            raise ValueError(
-                f"unknown method {job.method!r}; choose from {sorted(ALGORITHMS)}"
-            )
-        params_cls = ALGORITHMS[job.method][0]
-        try:
-            params_cls(**job.params)
-        except (TypeError, ValueError) as error:
-            raise ValueError(f"invalid {job.method} parameters: {error}") from None
-        # Fail unknown/unavailable kernels here, synchronously, for the
-        # same reason as bad parameters: one bad job must not poison its
-        # micro-batch from inside a worker.  Raises ValueError or
-        # KernelUnavailableError with the actionable message.
-        resolve_kernel(job.kernel)
-        num_vertices = self.engine.graph.num_vertices
-        for seed in job.seeds:
-            if not 0 <= seed < num_vertices:
-                raise ValueError(
-                    f"seed {seed} out of range for a {num_vertices}-vertex graph"
-                )
+        """One validation path with the wire and the CLI: lift the job into
+        a :class:`~repro.core.options.ClusterRequest` and run its semantic
+        checks.  Failures raise :class:`~repro.core.options.RequestError`
+        (a ``ValueError``) carrying the *canonical* parameter name — e.g.
+        ``params.alpha`` rather than an echo of raw kwargs — synchronously,
+        never from inside a worker, where one bad job would poison its
+        whole micro-batch.  Unknown/unavailable kernels fail here too
+        (``KernelUnavailableError`` keeps its actionable message, carried
+        under the ``kernel`` field)."""
+        ClusterRequest.from_job(job, priority=priority).validate(
+            num_vertices=self.engine.graph.num_vertices
+        )
 
     # ------------------------------------------------------------------
     # The drain loop

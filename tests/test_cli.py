@@ -267,8 +267,12 @@ class TestServeCommand:
         )
         assert main(["serve", str(path)]) == 0
         replies = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
-        assert "bad request" in replies[0]["error"]
-        assert "out of range" in replies[1]["error"]
+        # Errors are structured objects naming the offending field, not
+        # stringified tracebacks (shared codec with the socket transport).
+        assert "not valid JSON" in replies[0]["error"]["message"]
+        assert replies[0]["error"]["code"] == 400
+        assert "out of range" in replies[1]["error"]["message"]
+        assert replies[1]["error"]["field"] == "seeds"
         assert replies[2]["size"] > 0
 
     def test_serve_start_method_without_workers_rejected(self, tmp_path):

@@ -211,8 +211,11 @@ class TestServiceLifecycle:
                     service.submit(DiffusionJob.make(0, method="page-rank"))
                 with pytest.raises(ValueError, match="out of range"):
                     service.submit(DiffusionJob.make(graph.num_vertices + 5))
-                with pytest.raises(ValueError, match="invalid pr-nibble parameters"):
+                # The options layer attributes bad values to the canonical
+                # parameter name (field "params.epsilon"), not raw kwargs.
+                with pytest.raises(ValueError, match="invalid pr-nibble parameter 'epsilon'") as info:
                     service.submit(DiffusionJob.make(0, params={"epsilon": 1e-4}))
+                assert getattr(info.value, "field", None) == "params.epsilon"
                 with pytest.raises(ValueError, match="unknown priority"):
                     service.submit(jobs_for([0])[0], priority="urgent")
                 # the drain loop survived all four rejections
