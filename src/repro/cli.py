@@ -46,8 +46,9 @@ re-diffusing).
 sharded graph plane: the CSR is partitioned into K vertex-range shards,
 each job routes to the shard(s) owning its seeds, and shards attach
 lazily as diffusions cross boundaries) plus ``--max-resident-shards``
-(bound resident graph memory) and ``--spill-shards`` (whole-graph
-fallback threshold).
+(bound resident graph memory), ``--spill-shards`` (whole-graph fallback
+threshold) and ``--halo-bytes`` (budget of the boundary-row cache that
+serves hot cross-shard reads without attaching the neighbour shard).
 
 ``cluster``, ``ncp``, ``batch`` and ``serve`` accept ``--kernel``
 (``auto``/``python``/``numba``/``c``): the loop implementation for the
@@ -253,6 +254,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             shards=args.shards,
             max_resident_shards=args.max_resident_shards,
             spill_shards=args.spill_shards,
+            halo_bytes=args.halo_bytes,
             include_vectors=False,
             cache=cache,
             kernel=args.kernel,
@@ -269,7 +271,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             kernel=args.kernel,
         )
     # Stream outcomes straight to CSV so a large batch never lives in memory.
-    stats_reducer = StatsReducer()
+    stats_reducer = StatsReducer(engine=engine)
     best_reducer = BestClusterReducer()
     out = Path(args.output)
     start = time.perf_counter()
@@ -305,7 +307,37 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(f"wrote {stats.jobs} rows to {out}")
     if cache is not None:
         print(f"cache: {cache.stats.describe()}")
+    if args.stats:
+        _print_scheduler_stats(engine, stats)
     return 0
+
+
+def _print_scheduler_stats(engine: BatchEngine, stats) -> None:
+    """The --stats report: per-worker dispatch accounting + calibration."""
+    dispatch = stats.dispatch
+    if dispatch is None:
+        print("scheduler: no pool dispatch (serial or sharded backend)")
+    else:
+        print(
+            f"scheduler: {dispatch['units']} units, {dispatch['steals']} steals, "
+            f"busy {dispatch['busy_seconds']:.3f}s, idle {dispatch['idle_seconds']:.3f}s "
+            f"across {dispatch['workers_seen']} worker(s)"
+        )
+        per_worker = engine.dispatch_stats.per_worker
+        for pid in sorted(per_worker):
+            worker = per_worker[pid]
+            print(
+                f"  worker {pid}: units={worker.units} jobs={worker.jobs} "
+                f"busy={worker.busy_seconds:.3f}s idle={worker.idle_seconds:.3f}s "
+                f"steals={worker.steals}"
+            )
+    if stats.cost_calibration:
+        print("calibration (seconds per work unit):")
+        for key, entry in stats.cost_calibration.items():
+            print(
+                f"  {key}: spu={entry['seconds_per_unit']:.3g} "
+                f"samples={int(entry['samples'])}"
+            )
 
 
 def _serve_options(args: argparse.Namespace, cache) -> "object":
@@ -319,6 +351,7 @@ def _serve_options(args: argparse.Namespace, cache) -> "object":
             shards=args.shards,
             max_resident_shards=args.max_resident_shards,
             spill_shards=args.spill_shards,
+            halo_bytes=args.halo_bytes,
             include_vectors=False,
             cache=cache,
             kernel=args.kernel,
@@ -609,6 +642,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="process-pool workers (1 = serial)"
     )
     batch.add_argument("--rng", type=int, default=0)
+    batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="print scheduler diagnostics after the run: per-worker "
+        "busy/idle seconds and steal counts, plus the online "
+        "cost-calibration snapshot",
+    )
     _add_pool_flags(batch)
     _add_shard_flags(batch)
     _add_kernel_flag(batch)
@@ -726,9 +766,10 @@ def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
         "--schedule",
         choices=["cost", "fifo"],
         default="cost",
-        help="chunking policy: 'cost' packs cost-balanced, longest-first "
-        "chunks from the O(1/(eps*alpha))-style work bounds (default); "
-        "'fifo' uses contiguous count-based chunks",
+        help="dispatch policy: 'cost' feeds workers fine-grained units in "
+        "heaviest-first order from the O(1/(eps*alpha))-style work bounds "
+        "— workers steal the next unit as they finish (default); 'fifo' "
+        "uses pre-planned contiguous count-based chunks",
     )
 
 
@@ -752,6 +793,7 @@ def _check_shard_flags(args: argparse.Namespace) -> None:
     for flag, value in (
         ("--max-resident-shards", args.max_resident_shards),
         ("--spill-shards", args.spill_shards),
+        ("--halo-bytes", args.halo_bytes),
     ):
         if value is not None:
             raise SystemExit(f"error: {flag} requires --shards")
@@ -803,6 +845,15 @@ def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
         help="with --shards: a job touching more than N distinct shards "
         "falls back to whole-graph execution (results are identical "
         "either way)",
+    )
+    parser.add_argument(
+        "--halo-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="with --shards: byte budget of the per-view halo cache — hot "
+        "boundary-vertex rows served without attaching the neighbour "
+        "shard (default 1 MiB; 0 disables)",
     )
 
 

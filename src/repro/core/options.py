@@ -438,6 +438,7 @@ _ENGINE_KNOBS = (
     "shards",
     "max_resident_shards",
     "spill_shards",
+    "halo_bytes",
     "kernel",
 )
 
@@ -468,6 +469,7 @@ class EngineOptions:
     shards: int | None = None
     max_resident_shards: int | None = None
     spill_shards: int | None = None
+    halo_bytes: int | None = None
     kernel: str | None = None
 
     def resolved_backend(self) -> str:
@@ -500,7 +502,9 @@ class EngineOptions:
                 f"unknown backend {backend!r}; expected 'serial', 'process', "
                 "'sharded' or a backend instance"
             )
-        shard_knobs = self._set_knobs(("shards", "max_resident_shards", "spill_shards"))
+        shard_knobs = self._set_knobs(
+            ("shards", "max_resident_shards", "spill_shards", "halo_bytes")
+        )
         if backend in ("serial", "process") and shard_knobs:
             raise ValueError(
                 f"{', '.join(shard_knobs)} only apply to the sharded backend "

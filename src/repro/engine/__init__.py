@@ -13,8 +13,10 @@ with varying alpha and eps.  This subsystem mechanises that outer loop:
   shared-memory attach elsewhere), yielding :class:`JobOutcome` records
   in job order.
 * :mod:`repro.engine.scheduler` — method-aware per-job cost estimates
-  (the paper's O(1/(eps*alpha)) push bound and friends) packed into
-  cost-balanced, longest-first chunks so mixed-eps grids don't straggle.
+  (the paper's O(1/(eps*alpha)) push bound and friends), refined online
+  by an EWMA :class:`~repro.runtime.cost_model.CostModel`, ordered into
+  fine-grained heaviest-first units that pool workers *steal* as they
+  finish, so mixed-eps grids don't straggle.
 * :mod:`repro.engine.reducers` — streaming aggregation of outcomes into
   NCP profiles, best clusters, or throughput statistics.
 
@@ -29,6 +31,7 @@ with varying alpha and eps.  This subsystem mechanises that outer loop:
 
 from .executor import (
     BatchEngine,
+    DispatchStats,
     ExecutionSession,
     JobOutcome,
     KernelSession,
@@ -36,6 +39,7 @@ from .executor import (
     PoolSession,
     ProcessPoolBackend,
     SerialBackend,
+    WorkerStats,
     resolve_engine,
     run_job,
 )
@@ -47,7 +51,11 @@ from .scheduler import (
     chunk_costs,
     estimate_cost,
     kernel_cost_scale,
+    observe_outcome,
     plan_chunks,
+    plan_units,
+    resolved_kernel_name,
+    steal_unit_size,
 )
 from .reducers import (
     BatchStats,
@@ -80,7 +88,13 @@ __all__ = [
     "chunk_costs",
     "estimate_cost",
     "kernel_cost_scale",
+    "observe_outcome",
     "plan_chunks",
+    "plan_units",
+    "resolved_kernel_name",
+    "steal_unit_size",
+    "DispatchStats",
+    "WorkerStats",
     "BatchStats",
     "BestClusterReducer",
     "CollectReducer",

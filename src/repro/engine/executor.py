@@ -15,11 +15,12 @@ The execution layer is organised in three planes:
   ``forkserver`` the parent exports the arrays once into
   ``multiprocessing.shared_memory`` segments and workers attach zero-copy.
   Either way the graph is never pickled, copied per job, or re-validated.
-* **Scheduler plane** (:mod:`repro.engine.scheduler`) — jobs are packed
-  into cost-balanced chunks (longest-first, method-aware O(1/(eps*alpha))
-  style estimates) so one expensive corner of a parameter grid cannot
-  straggle the batch.  ``schedule="fifo"`` restores plain count-based
-  chunking.
+* **Scheduler plane** (:mod:`repro.engine.scheduler`) — jobs are ordered
+  into fine-grained steal units (heaviest-first, method-aware
+  O(1/(eps*alpha)) style estimates calibrated online against measured
+  seconds) that workers pull dynamically from a shared queue, so one
+  expensive corner of a parameter grid cannot straggle the batch.
+  ``schedule="fifo"`` restores plain count-based chunking.
 * **Backend plane** (this module) — :class:`PoolBackend` owns the shared
   in-process execution loop; :class:`SerialBackend` is exactly that loop,
   and :class:`ProcessPoolBackend` adds the pool, the graph hand-off and
@@ -55,7 +56,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
@@ -67,9 +68,16 @@ from ..graph.csr import CSRGraph
 from ..kernels import ensure_warm, resolve_kernel
 from ..prims.sparse import SparseDict
 from ..runtime import record, track
+from ..runtime.cost_model import CostModel
 from .jobs import DiffusionJob
 from .reducers import CollectReducer, Reducer
-from .scheduler import SCHEDULES, fifo_chunk_size, plan_chunks
+from .scheduler import (
+    SCHEDULES,
+    estimate_cost,
+    fifo_chunk_size,
+    observe_outcome,
+    plan_units,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import CachingBackend, ResultCache
@@ -85,6 +93,8 @@ __all__ = [
     "PoolBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "WorkerStats",
+    "DispatchStats",
     "BatchEngine",
     "resolve_engine",
 ]
@@ -293,6 +303,89 @@ def _worker_run_chunk(chunk: Sequence[tuple[int, DiffusionJob]]) -> list[JobOutc
     ]
 
 
+def _worker_run_unit(
+    unit: Sequence[tuple[int, DiffusionJob]],
+) -> tuple[int, float, list[JobOutcome]]:
+    """Run one steal unit; tag the result with the worker's identity.
+
+    The pid and the unit's busy seconds let the parent attribute work to
+    workers without any extra IPC — the dispatch stats (steals, idle,
+    busy) fall out of the tagged stream.
+    """
+    start = time.perf_counter()
+    outcomes = _worker_run_chunk(unit)
+    return os.getpid(), time.perf_counter() - start, outcomes
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker dispatch accounting for one or more batches."""
+
+    units: int = 0
+    jobs: int = 0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    steals: int = 0
+
+
+@dataclass
+class DispatchStats:
+    """Work-stealing dispatch accounting across a backend's batches.
+
+    A worker's *steals* count the units it pulled from the shared queue
+    beyond its first in a batch — every one is a dynamic rebalancing
+    decision a pre-planned chunk assignment could not have made.  *Idle*
+    is the gap between a worker's busy seconds and the batch span (the
+    straggler tail the stealing loop exists to shrink).
+    """
+
+    batches: int = 0
+    units: int = 0
+    jobs: int = 0
+    steals: int = 0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    per_worker: dict[int, WorkerStats] = field(default_factory=dict)
+
+    def record_batch(
+        self,
+        span: float,
+        tallies: dict[int, tuple[int, int, float]],
+        workers: int,
+    ) -> None:
+        """Fold one batch in: ``tallies`` maps pid -> (units, jobs, busy)."""
+        self.batches += 1
+        for pid, (units, jobs, busy) in tallies.items():
+            stats = self.per_worker.get(pid)
+            if stats is None:
+                stats = self.per_worker[pid] = WorkerStats()
+            idle = max(0.0, span - busy)
+            steals = max(0, units - 1)
+            stats.units += units
+            stats.jobs += jobs
+            stats.busy_seconds += busy
+            stats.idle_seconds += idle
+            stats.steals += steals
+            self.units += units
+            self.jobs += jobs
+            self.steals += steals
+            self.busy_seconds += busy
+            self.idle_seconds += idle
+        # Workers the queue never reached sat idle for the whole span.
+        self.idle_seconds += span * max(0, workers - len(tallies))
+
+    def describe(self) -> dict[str, float | int]:
+        return {
+            "batches": self.batches,
+            "units": self.units,
+            "jobs": self.jobs,
+            "steals": self.steals,
+            "busy_seconds": self.busy_seconds,
+            "idle_seconds": self.idle_seconds,
+            "workers_seen": len(self.per_worker),
+        }
+
+
 class ExecutionSession:
     """A prepared execution environment that serves consecutive batches.
 
@@ -386,19 +479,46 @@ class PoolSession(ExecutionSession):
 
     def _run(self, jobs: Sequence[DiffusionJob]) -> Iterator[JobOutcome]:
         backend: "ProcessPoolBackend" = self.backend  # type: ignore[assignment]
-        chunks = plan_chunks(
-            jobs, backend.workers, schedule=backend.schedule, chunk_size=backend.chunk_size
+        model = backend.cost_model
+        units = plan_units(
+            jobs,
+            backend.workers,
+            schedule=backend.schedule,
+            chunk_size=backend.chunk_size,
+            estimator=lambda job: estimate_cost(job, model),
         )
-        # Chunks complete in arbitrary order; re-emit outcomes in job
-        # order so the deterministic stream contract holds.
+        # The pool's shared task queue *is* the steal queue: every worker
+        # pulls the next undispatched unit the moment it finishes its
+        # current one, so placement follows measured durations, not the
+        # estimates.  Units complete in arbitrary order; outcomes carry
+        # their original index and are re-emitted in job order, so the
+        # deterministic stream contract holds at any worker count.
         pending: dict[int, JobOutcome] = {}
         next_index = 0
-        for outcomes in self._pool.imap_unordered(_worker_run_chunk, chunks):
-            for outcome in outcomes:
-                pending[outcome.index] = outcome
-            while next_index in pending:
-                yield pending.pop(next_index)
-                next_index += 1
+        tallies: dict[int, tuple[int, int, float]] = {}
+        start = time.perf_counter()
+        try:
+            for pid, busy, outcomes in self._pool.imap_unordered(
+                _worker_run_unit, units
+            ):
+                units_done, jobs_done, busy_total = tallies.get(pid, (0, 0, 0.0))
+                tallies[pid] = (
+                    units_done + 1,
+                    jobs_done + len(outcomes),
+                    busy_total + busy,
+                )
+                for outcome in outcomes:
+                    observe_outcome(model, outcome)
+                    pending[outcome.index] = outcome
+                while next_index in pending:
+                    yield pending.pop(next_index)
+                    next_index += 1
+        finally:
+            # Covers abandoned iterators too: the batch's dispatch
+            # accounting reflects whatever actually ran.
+            backend.dispatch.record_batch(
+                time.perf_counter() - start, tallies, backend.workers
+            )
 
     def close(self) -> None:
         """Shut the pool down and unlink the graph export (idempotent).
@@ -485,23 +605,29 @@ class ProcessPoolBackend(PoolBackend):
     unlinked deterministically when the stream finishes (an ``atexit``
     guard covers abandoned streams).
 
-    Jobs are packed into chunks by the scheduler plane
-    (:mod:`repro.engine.scheduler`): ``schedule="cost"`` (default) builds
-    cost-balanced chunks, ordered longest-first, from the paper's
-    O(1/(eps*alpha))-style work bounds, so mixed-eps grids do not straggle;
-    ``schedule="fifo"`` restores contiguous count-based chunks.
-    ``chunk_size`` keeps its historical "jobs per IPC round-trip" meaning
-    under both schedules.
+    Dispatch is **work-stealing**: the scheduler plane
+    (:mod:`repro.engine.scheduler`) orders jobs into fine-grained units
+    and the pool's shared task queue hands the next undispatched unit to
+    whichever worker finishes first, so placement adapts to measured
+    durations instead of trusting the estimates.  ``schedule="cost"``
+    (default) orders units heaviest-first (LPT list scheduling) using
+    estimates calibrated online by the backend's
+    :class:`~repro.runtime.cost_model.CostModel` (seconds-per-work-unit
+    learned per method and kernel from completed outcomes, within and
+    across batches in a session); ``schedule="fifo"`` keeps the legacy
+    contiguous count-based slicing.  ``chunk_size`` keeps its historical
+    "jobs per IPC round-trip" meaning under both schedules.  Per-worker
+    busy/idle/steal accounting accumulates on ``backend.dispatch``.
 
-    Chunks execute out of order across workers, but every outcome carries
+    Units execute out of order across workers, but every outcome carries
     its original index and the stream re-emits them **in job order**, so
     reducers in the parent observe the identical deterministic stream the
     serial backend produces.  Re-ordering buffers completed outcomes
     until their index is next; under ``schedule="cost"`` (non-contiguous
-    chunks) that buffer can, in the worst case, approach the batch size —
+    units) that buffer can, in the worst case, approach the batch size —
     prefer ``include_vectors=False`` for huge batches (outcomes shrink to
     counters + sweep), or ``schedule="fifo"`` to keep the buffer at the
-    in-flight chunks.
+    in-flight units.
     """
 
     folds_into_tracker = False
@@ -530,6 +656,11 @@ class ProcessPoolBackend(PoolBackend):
         self.start_method = start_method
         self.chunk_size = chunk_size
         self.schedule = schedule
+        # Session-scoped learning and accounting: the cost model calibrates
+        # estimates from completed outcomes (within and across batches) and
+        # the dispatch stats accumulate per-worker busy/idle/steal counts.
+        self.cost_model = CostModel()
+        self.dispatch = DispatchStats()
 
     def _chunk_size(self, num_jobs: int) -> int:
         """Jobs per chunk for count-based plans — delegates to the
@@ -668,6 +799,11 @@ class BatchEngine:
         With ``shards``: distinct-shards-per-job threshold beyond which a
         diffusion falls back to whole-graph execution (results are
         bit-identical either way).
+    halo_bytes:
+        With ``shards``: byte budget of each view's halo cache (hot
+        boundary-vertex adjacency rows served without attaching the
+        neighbour shard).  ``None`` keeps the default budget, ``0``
+        disables the cache.
     cache:
         Memoise job outcomes keyed by (graph fingerprint, method,
         canonical params, seed set): ``True`` for a fresh in-memory
@@ -710,6 +846,7 @@ class BatchEngine:
         shards: int | None = None,
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
+        halo_bytes: int | None = None,
         kernel: str | None = None,
         options: "EngineOptions | None" = None,
     ) -> None:
@@ -728,6 +865,7 @@ class BatchEngine:
                 shards=shards,
                 max_resident_shards=max_resident_shards,
                 spill_shards=spill_shards,
+                halo_bytes=halo_bytes,
                 kernel=kernel,
             )
             options.validate()
@@ -741,6 +879,7 @@ class BatchEngine:
             shards = options.shards
             max_resident_shards = options.max_resident_shards
             spill_shards = options.spill_shards
+            halo_bytes = options.halo_bytes
             kernel = options.kernel
         self.graph = graph
         # None is the "engine default" sentinel (it lets the options path
@@ -761,6 +900,7 @@ class BatchEngine:
                 ("shards", shards),
                 ("max_resident_shards", max_resident_shards),
                 ("spill_shards", spill_shards),
+                ("halo_bytes", halo_bytes),
             )
             if value is not None
         ]
@@ -790,6 +930,7 @@ class BatchEngine:
                 shards=shards if shards is not None else 4,
                 max_resident_shards=max_resident_shards,
                 spill_shards=spill_shards,
+                halo_bytes=halo_bytes,
             )
         elif backend == "serial":
             self.backend = SerialBackend()
@@ -833,6 +974,23 @@ class BatchEngine:
     def cache(self) -> "ResultCache | None":
         """The engine's result cache, or ``None`` when caching is off."""
         return getattr(self.backend, "cache", None)
+
+    @property
+    def _inner_backend(self) -> "PoolBackend":
+        """The execution backend under any caching wrapper."""
+        return getattr(self.backend, "inner", self.backend)
+
+    @property
+    def dispatch_stats(self) -> "DispatchStats | None":
+        """Work-stealing dispatch accounting, or ``None`` for in-process
+        backends (which have no workers to account for)."""
+        return getattr(self._inner_backend, "dispatch", None)
+
+    @property
+    def cost_model(self) -> "CostModel | None":
+        """The backend's online cost calibration, or ``None`` for
+        backends that do not own one (serial, sharded)."""
+        return getattr(self._inner_backend, "cost_model", None)
 
     def open_session(self) -> ExecutionSession:
         """A session serving *consecutive batches* on one prepared backend.
@@ -906,6 +1064,7 @@ def resolve_engine(
     shards: int | None = None,
     max_resident_shards: int | None = None,
     spill_shards: int | None = None,
+    halo_bytes: int | None = None,
     kernel: str | None = None,
     options: "EngineOptions | None" = None,
 ) -> BatchEngine:
@@ -940,6 +1099,7 @@ def resolve_engine(
                 ("shards", shards),
                 ("max_resident_shards", max_resident_shards),
                 ("spill_shards", spill_shards),
+                ("halo_bytes", halo_bytes),
                 ("kernel", kernel),
                 ("options", options),
             )
@@ -963,6 +1123,7 @@ def resolve_engine(
         shards=shards,
         max_resident_shards=max_resident_shards,
         spill_shards=spill_shards,
+        halo_bytes=halo_bytes,
         kernel=kernel,
         options=options,
     )

@@ -127,6 +127,13 @@ class BatchStats:
     starts its timer *after* :func:`repro.kernels.ensure_warm`, so
     ``job_seconds`` is a steady-state measurement and the compile cost is
     reported here instead of silently inflating the first job.
+
+    ``dispatch`` and ``cost_calibration`` are attached when the reducer
+    was built with ``engine=``: the backend's work-stealing accounting
+    (per-worker busy/idle seconds and steal counts, as
+    ``DispatchStats.describe()``) and the online cost model's per-key
+    seconds-per-work-unit snapshot.  ``None`` for backends without a
+    pool (serial, sharded).
     """
 
     jobs: int = 0
@@ -139,6 +146,8 @@ class BatchStats:
     job_seconds: float = 0.0
     warmup_seconds: float = 0.0
     by_method: dict[str, int] = field(default_factory=dict)
+    dispatch: dict[str, float | int] | None = None
+    cost_calibration: dict[str, dict[str, float]] | None = None
 
     def jobs_per_second(self, wall_seconds: float) -> float:
         """Batch throughput given the *wall* time of the run (not the sum
@@ -147,10 +156,16 @@ class BatchStats:
 
 
 class StatsReducer(Reducer):
-    """Accumulate :class:`BatchStats` over the outcome stream."""
+    """Accumulate :class:`BatchStats` over the outcome stream.
 
-    def __init__(self) -> None:
+    Pass ``engine=`` to also capture the engine's scheduler diagnostics at
+    ``finalize`` time: work-stealing dispatch accounting and the online
+    cost-calibration snapshot (both ``None`` for pool-less backends).
+    """
+
+    def __init__(self, engine: Any | None = None) -> None:
         self.stats = BatchStats()
+        self._engine = engine
 
     def update(self, outcome: "JobOutcome") -> None:
         stats = self.stats
@@ -172,4 +187,11 @@ class StatsReducer(Reducer):
         stats.warmup_seconds += outcome.warmup_seconds
 
     def finalize(self) -> BatchStats:
+        if self._engine is not None:
+            dispatch = getattr(self._engine, "dispatch_stats", None)
+            if dispatch is not None:
+                self.stats.dispatch = dispatch.describe()
+            model = getattr(self._engine, "cost_model", None)
+            if model is not None:
+                self.stats.cost_calibration = model.snapshot()
         return self.stats

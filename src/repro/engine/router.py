@@ -62,12 +62,16 @@ class RouterStats:
     spills: int = 0
     lazy_attaches: int = 0
     detaches: int = 0
+    halo_hits: int = 0
+    halo_misses: int = 0
+    halo_evictions: int = 0
     jobs_per_home: dict[tuple[int, ...], int] = field(default_factory=dict)
 
     def describe(self) -> str:
         return (
             f"jobs={self.jobs} groups={self.groups} spills={self.spills} "
-            f"attaches={self.lazy_attaches} detaches={self.detaches}"
+            f"attaches={self.lazy_attaches} detaches={self.detaches} "
+            f"halo_hits={self.halo_hits} halo_misses={self.halo_misses}"
         )
 
 
@@ -124,6 +128,7 @@ class RouterSession(ExecutionSession):
             view = self.sharded.view(
                 max_resident=backend.max_resident_shards,
                 spill_shards=backend.spill_shards,
+                halo_bytes=backend.halo_bytes,
             )
             try:
                 for index, job in members:
@@ -153,6 +158,9 @@ class RouterSession(ExecutionSession):
             finally:
                 self.stats.lazy_attaches += view.attaches
                 self.stats.detaches += view.detaches
+                self.stats.halo_hits += view.halo_hits
+                self.stats.halo_misses += view.halo_misses
+                self.stats.halo_evictions += view.halo_evictions
                 view.close()
             while next_index in pending:
                 yield pending.pop(next_index)
@@ -182,6 +190,11 @@ class ShardRouter(PoolBackend):
         Distinct-shards-per-job threshold beyond which a diffusion is
         escalated to whole-graph execution.  ``None`` (default) never
         spills — every job is served purely by lazy attach.
+    halo_bytes:
+        Byte budget of each view's halo cache (hot boundary-vertex rows
+        served without attaching the neighbour shard; see
+        :class:`~repro.graph.sharded.ShardedGraphView`).  ``None``
+        (default) keeps the view's default budget; ``0`` disables it.
 
     The router is deliberately serial in-process in this release (one
     worker, ``folds_into_tracker=True``): it scales *memory*, and
@@ -198,6 +211,7 @@ class ShardRouter(PoolBackend):
         shards: int = 4,
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
+        halo_bytes: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -205,9 +219,12 @@ class ShardRouter(PoolBackend):
             raise ValueError("max_resident_shards must be >= 1")
         if spill_shards is not None and spill_shards < 1:
             raise ValueError("spill_shards must be >= 1")
+        if halo_bytes is not None and halo_bytes < 0:
+            raise ValueError("halo_bytes must be >= 0")
         self.shards = shards
         self.max_resident_shards = max_resident_shards
         self.spill_shards = spill_shards
+        self.halo_bytes = halo_bytes
 
     def open_session(
         self,

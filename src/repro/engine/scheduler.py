@@ -63,8 +63,12 @@ __all__ = [
     "SCHEDULES",
     "KERNEL_COST_SCALE",
     "kernel_cost_scale",
+    "resolved_kernel_name",
     "estimate_cost",
     "plan_chunks",
+    "plan_units",
+    "steal_unit_size",
+    "observe_outcome",
     "chunk_costs",
     "fifo_chunk_size",
 ]
@@ -90,6 +94,20 @@ CHUNKS_PER_WORKER = 8
 KERNEL_COST_SCALE = {"python": 1.0, "numba": 0.02, "c": 0.02}
 
 
+def resolved_kernel_name(kernel: str | None) -> str:
+    """The kernel a job would actually run under, as a calibration key.
+
+    Never raises: unknown or unavailable kernels key like Python (the
+    execution layer is where bad kernels must fail, loudly).
+    """
+    if kernel is None:
+        return "python"
+    try:
+        return resolve_kernel(kernel)
+    except (ValueError, KernelUnavailableError):
+        return "python"
+
+
 def kernel_cost_scale(kernel: str | None) -> float:
     """Relative seconds-per-unit-work of a job's kernel setting.
 
@@ -97,46 +115,85 @@ def kernel_cost_scale(kernel: str | None) -> float:
     (the execution layer is where bad kernels must fail, loudly —
     scheduling must never be the thing that aborts a batch).
     """
-    if kernel is None:
-        return 1.0
+    return KERNEL_COST_SCALE.get(resolved_kernel_name(kernel), 1.0)
+
+
+def _raw_work_bound(job: DiffusionJob) -> float | None:
+    """The method's closed-form work bound, *without* any kernel scale.
+
+    These are the "raw units" the online :class:`~repro.runtime.cost_model.
+    CostModel` learns seconds-per-unit against.  Returns ``None`` for
+    unknown methods or parameters that the method's dataclass rejects (a
+    job that would fail at execution time anyway).
+    """
+    if job.method not in ALGORITHMS:
+        return None
+    params_cls, _, _ = ALGORITHMS[job.method]
     try:
-        name = resolve_kernel(kernel)
-    except (ValueError, KernelUnavailableError):
-        return 1.0
-    return KERNEL_COST_SCALE.get(name, 1.0)
+        params = params_cls(**job.params)
+    except (TypeError, ValueError):
+        return None
+    if job.method == "pr-nibble":
+        return ppr_push_work_bound(params.alpha, params.eps)
+    if job.method == "nibble":
+        return truncated_iteration_work_bound(params.max_iterations, params.eps)
+    if job.method == "hk-pr":
+        # Kloster-Gleich style push bound: N Taylor terms, each thresholded
+        # at eps — the same 1/eps locality with the degree N as the "1/alpha".
+        return ppr_push_work_bound(1.0 / params.taylor_degree, params.eps)
+    # rand-hk-pr
+    return random_walk_work_bound(params.num_walks, params.max_walk_length)
 
 
-def estimate_cost(job: DiffusionJob) -> float:
-    """A-priori cost estimate for one job, in (approximate) push units.
+def estimate_cost(job: DiffusionJob, model=None) -> float:
+    """Cost estimate for one job, in (approximate) push units.
 
     Dispatches on the method to the closed-form bounds of
     :mod:`repro.runtime.cost_model`, instantiating the method's parameter
     dataclass so defaults are filled exactly as execution will fill them,
     then scales by the job's kernel (:func:`kernel_cost_scale`) — a
     compiled push costs a small fraction of a Python push in wall time,
-    and cost chunks balance *time*, not abstract work.  Unknown methods
+    and cost plans balance *time*, not abstract work.  Unknown methods
     (a job that would fail at execution time anyway) get the floor cost
     rather than an exception — scheduling must never be the thing that
     aborts a batch.
+
+    With a :class:`~repro.runtime.cost_model.CostModel` the static kernel
+    scale is replaced by the model's learned correction for the job's
+    ``(method, kernel)`` key — still expressed in static-estimate units, so
+    thresholds like ``max_batch_cost`` keep their meaning.  Keys the model
+    has not observed yet fall back to the static estimate.
     """
-    if job.method not in ALGORITHMS:
+    raw = _raw_work_bound(job)
+    if raw is None:
         return _MIN_COST
-    params_cls, _, _ = ALGORITHMS[job.method]
-    try:
-        params = params_cls(**job.params)
-    except (TypeError, ValueError):
-        return _MIN_COST
-    if job.method == "pr-nibble":
-        cost = ppr_push_work_bound(params.alpha, params.eps)
-    elif job.method == "nibble":
-        cost = truncated_iteration_work_bound(params.max_iterations, params.eps)
-    elif job.method == "hk-pr":
-        # Kloster-Gleich style push bound: N Taylor terms, each thresholded
-        # at eps — the same 1/eps locality with the degree N as the "1/alpha".
-        cost = ppr_push_work_bound(1.0 / params.taylor_degree, params.eps)
-    else:  # rand-hk-pr
-        cost = random_walk_work_bound(params.num_walks, params.max_walk_length)
-    return max(cost * kernel_cost_scale(job.kernel), _MIN_COST)
+    if model is not None:
+        factor = model.calibration_factor(job.method, resolved_kernel_name(job.kernel))
+        if factor is not None:
+            return max(raw * factor, _MIN_COST)
+    return max(raw * kernel_cost_scale(job.kernel), _MIN_COST)
+
+
+def observe_outcome(model, outcome) -> None:
+    """Fold one completed :class:`JobOutcome` into a cost model.
+
+    Cache hits carry no execution time and are skipped; so are jobs whose
+    parameters yield no work bound.  Warm-up (JIT compilation) seconds are
+    already excluded from ``wall_seconds`` by the executor.
+    """
+    if outcome.cached:
+        return
+    job = outcome.job
+    raw = _raw_work_bound(job)
+    if raw is None:
+        return
+    model.observe(
+        job.method,
+        resolved_kernel_name(job.kernel),
+        raw,
+        outcome.wall_seconds,
+        static=max(raw * kernel_cost_scale(job.kernel), _MIN_COST),
+    )
 
 
 def chunk_costs(
@@ -228,3 +285,63 @@ def plan_chunks(
     else:
         desired = workers * CHUNKS_PER_WORKER
     return _cost_chunks(jobs, desired, estimator)
+
+
+#: steal-queue granularity: at most this many jobs per unit, so one unit
+#: can never hide a straggler behind cheap neighbours for long.
+MAX_UNIT_JOBS = 8
+
+#: target units per worker under stealing.  Far finer than the chunk
+#: plan's 8: each unit is one IPC round-trip, but the pool's shared queue
+#: re-balances at unit boundaries, so more units = better balance.
+UNITS_PER_WORKER = 16
+
+
+def steal_unit_size(num_jobs: int, workers: int, chunk_size: int | None = None) -> int:
+    """Jobs per steal unit: ~16 units per worker, capped at 8 jobs.
+
+    Falls to 1 whenever jobs-per-worker is low — the auto-fine-granularity
+    guard: with few jobs to go around, every job must be independently
+    stealable or one unit starves the other workers (the smoke-scale
+    regression this scheduler replaces).
+    """
+    if chunk_size is not None:
+        return max(1, chunk_size)
+    return max(1, min(MAX_UNIT_JOBS, num_jobs // (max(1, workers) * UNITS_PER_WORKER)))
+
+
+def plan_units(
+    jobs: Sequence[DiffusionJob],
+    workers: int,
+    schedule: str = "cost",
+    chunk_size: int | None = None,
+    estimator: Callable[[DiffusionJob], float] = estimate_cost,
+) -> list[list[tuple[int, DiffusionJob]]]:
+    """Order ``jobs`` into the fine-grained units a stealing pool dispatches.
+
+    Unlike :func:`plan_chunks`, units are *not* pre-assigned to workers:
+    the pool's shared task queue hands the next undispatched unit to
+    whichever worker finishes first, so placement adapts to the measured
+    durations instead of the estimates.  ``"cost"`` orders units
+    heaviest-first (greedy pulls of a longest-first order are classic LPT
+    list scheduling — near-optimal makespan on the *true* durations);
+    ``"fifo"`` keeps the legacy contiguous count-based slicing.  Every
+    entry is ``(original_index, job)`` and the units cover the batch
+    exactly once; outcomes carry their index, so re-emission order and
+    results are bit-identical to serial at any worker count.
+    """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    workers = max(1, workers)
+    if schedule == "fifo":
+        return _fifo_chunks(jobs, fifo_chunk_size(len(jobs), workers, chunk_size))
+    size = steal_unit_size(len(jobs), workers, chunk_size)
+    costs = [max(estimator(job), _MIN_COST) for job in jobs]
+    order = sorted(range(len(jobs)), key=lambda i: (-costs[i], i))
+    return [
+        [(i, jobs[i]) for i in order[start : start + size]]
+        for start in range(0, len(order), size)
+    ]

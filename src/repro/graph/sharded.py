@@ -32,6 +32,11 @@ exactness-preserving memory optimisation, never an approximation:
   engine's :class:`~repro.engine.router.ShardRouter` uses to escalate a
   non-local job to whole-graph execution instead of faulting the entire
   graph in shard by shard.
+* ``halo_bytes`` budgets a small LRU **halo cache** of hot boundary-vertex
+  adjacency rows (copied out of their shard), so the cross-shard reads a
+  diffusion makes near a shard boundary are served without attaching the
+  neighbour shard at all — recovering most of the lazy-attach latency
+  while keeping the resident-memory win.
 
 Runnable example — partition, attach lazily, read exactly:
 
@@ -68,6 +73,7 @@ from .csr import CSRGraph
 from .shared import SharedCSR, SharedCSRHandle
 
 __all__ = [
+    "DEFAULT_HALO_BYTES",
     "ShardMap",
     "ShardSpill",
     "ShardedCSR",
@@ -75,6 +81,16 @@ __all__ = [
     "ShardedGraphView",
     "plan_boundaries",
 ]
+
+#: default byte budget of a view's halo cache.  Sized to hold thousands of
+#: typical adjacency rows — enough to absorb the boundary working set of a
+#: local diffusion — while staying negligible next to even one shard.
+DEFAULT_HALO_BYTES = 1 << 20
+
+#: at most this many rows are copied into the halo per *vectorised* read of
+#: a non-resident shard; scalar reads (the per-push pattern that thrashes
+#: attaches) always populate.
+_HALO_GROUP_CAP = 256
 
 
 class ShardSpill(RuntimeError):
@@ -243,10 +259,14 @@ class ShardedCSR:
         self,
         max_resident: int | None = None,
         spill_shards: int | None = None,
+        halo_bytes: int | None = None,
     ) -> "ShardedGraphView":
         """A lazy view over this export (see :class:`ShardedGraphView`)."""
         return ShardedGraphView(
-            self._handle, max_resident=max_resident, spill_shards=spill_shards
+            self._handle,
+            max_resident=max_resident,
+            spill_shards=spill_shards,
+            halo_bytes=halo_bytes,
         )
 
     def unlink(self) -> None:
@@ -287,8 +307,23 @@ class ShardedGraphView:
     exact, since a detached shard transparently re-attaches).
     ``spill_shards`` bounds distinct shards touched since the last
     :meth:`reset_spill` — crossing it raises :class:`ShardSpill` for the
-    router to escalate.  Not thread-safe; one view per executing job
-    stream.
+    router to escalate.
+
+    ``halo_bytes`` budgets the **halo cache**: an LRU of adjacency rows
+    *copied* out of non-resident shards the first time a read touches
+    them.  Reads are served resident-shard-first; a vertex whose shard is
+    not resident but whose row is cached is answered from the halo —
+    without attaching the shard, and without charging the spill budget
+    (the budget bounds shards a diffusion actually needs *mapped*; a few
+    cached boundary rows are the footprint the cache exists to absorb).
+    Alongside the row LRU, an enabled halo keeps one copied *local
+    offsets* array per shard ever attached (1-2% of a shard's bytes,
+    outside the row budget), so degree reads vectorise after the shard is
+    detached instead of re-attaching or walking cached rows one by one.
+    Rows hold global neighbour ids and offsets copies are verbatim, so
+    halo answers are bit-identical to every other path.  ``None`` selects
+    :data:`DEFAULT_HALO_BYTES`; ``0`` disables the cache (and the offsets
+    sidecar).  Not thread-safe; one view per executing job stream.
     """
 
     def __init__(
@@ -296,20 +331,77 @@ class ShardedGraphView:
         handle: ShardedCSRHandle,
         max_resident: int | None = None,
         spill_shards: int | None = None,
+        halo_bytes: int | None = None,
     ) -> None:
         if max_resident is not None and max_resident < 1:
             raise ValueError("max_resident must be >= 1")
         if spill_shards is not None and spill_shards < 1:
             raise ValueError("spill_shards must be >= 1")
+        if halo_bytes is not None and halo_bytes < 0:
+            raise ValueError("halo_bytes must be >= 0")
         self._handle = handle
         self.map = handle.map()
         self.max_resident = max_resident
         self.spill_shards = spill_shards
+        self.halo_bytes = DEFAULT_HALO_BYTES if halo_bytes is None else int(halo_bytes)
         self._resident: "OrderedDict[int, SharedCSR]" = OrderedDict()
         self._touched: set[int] = set()
+        self._halo: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._halo_nbytes = 0
+        self._shard_offsets: dict[int, np.ndarray] = {}
         self.attaches = 0
         self.detaches = 0
+        self.halo_hits = 0
+        self.halo_misses = 0
+        self.halo_evictions = 0
         self._closed = False
+
+    # ------------------------------------------------------------------
+    # Halo cache: copied rows of hot vertices in non-resident shards
+    # ------------------------------------------------------------------
+    def _halo_lookup(self, shard: int, vertex: int) -> np.ndarray | None:
+        """The vertex's cached row, iff its shard is not resident."""
+        if self.halo_bytes == 0 or shard in self._resident:
+            return None
+        row = self._halo.get(vertex)
+        if row is None:
+            return None
+        self._halo.move_to_end(vertex)
+        self.halo_hits += 1
+        return row
+
+    def _halo_rows(self, shard: int, vertices: np.ndarray) -> list[np.ndarray] | None:
+        """All-or-nothing halo serving for one vectorised shard group."""
+        if self.halo_bytes == 0 or shard in self._resident:
+            return None
+        rows = []
+        halo_get = self._halo.get
+        refresh = self._halo.move_to_end
+        for vertex in vertices.tolist():
+            row = halo_get(vertex)
+            if row is None:
+                # Recency moves already made stand: those rows WERE read.
+                return None
+            refresh(vertex)
+            rows.append(row)
+        self.halo_hits += len(rows)
+        return rows
+
+    def _halo_store(self, vertex: int, row: np.ndarray) -> None:
+        """Copy one adjacency row into the halo, evicting LRU over budget.
+
+        The copy is mandatory: the source is a view into a shard's
+        shared-memory segment, which an LRU detach would invalidate.
+        """
+        if self.halo_bytes == 0 or vertex in self._halo:
+            return
+        row = np.array(row, dtype=np.int64)
+        self._halo[vertex] = row
+        self._halo_nbytes += row.nbytes
+        while self._halo_nbytes > self.halo_bytes and self._halo:
+            _, evicted = self._halo.popitem(last=False)
+            self._halo_nbytes -= evicted.nbytes
+            self.halo_evictions += 1
 
     # ------------------------------------------------------------------
     # Residency: lazy attach, LRU detach, spill accounting
@@ -343,7 +435,26 @@ class ShardedGraphView:
         attached = SharedCSR.attach(self._handle.shards[shard])
         self._resident[shard] = attached
         self.attaches += 1
+        if self.halo_bytes != 0 and shard not in self._shard_offsets:
+            # Sidecar to the halo: one *copied* local offsets array per
+            # shard ever attached (1-2% of the shard's bytes).  Degree
+            # reads vectorise against it after the shard is detached, so
+            # they never force a re-attach nor fall into per-row Python.
+            self._shard_offsets[shard] = np.array(attached.graph.offsets)
         return attached.graph.offsets, attached.graph.neighbors
+
+    def _offsets_for(self, shard: int) -> np.ndarray:
+        """The shard's local offsets without forcing residency: live arrays
+        while the shard is mapped, the cached copy after it was detached,
+        and a real attach only for a shard never seen before."""
+        attached = self._resident.get(shard)
+        if attached is not None:
+            self._resident.move_to_end(shard)
+            return attached.graph.offsets
+        cached = self._shard_offsets.get(shard)
+        if cached is not None:
+            return cached
+        return self._arrays(shard)[0]
 
     @property
     def resident_shards(self) -> int:
@@ -362,13 +473,16 @@ class ShardedGraphView:
         self._touched = set()
 
     def close(self) -> None:
-        """Detach every resident shard (idempotent)."""
+        """Detach every resident shard and drop the halo (idempotent)."""
         if self._closed:
             return
         self._closed = True
         for attached in self._resident.values():
             attached.close()
         self._resident.clear()
+        self._halo.clear()
+        self._halo_nbytes = 0
+        self._shard_offsets.clear()
 
     def __enter__(self) -> "ShardedGraphView":
         return self
@@ -406,39 +520,62 @@ class ShardedGraphView:
     # Degrees and adjacency — bit-identical to CSRGraph
     # ------------------------------------------------------------------
     def _per_shard(self, vertices: np.ndarray):
-        """Yield ``(shard, mask, local_ids)`` per owning shard, ascending."""
+        """Yield ``(shard, mask, local_ids)`` per owning shard, ascending.
+
+        The all-one-shard case (most frontier groups: a local diffusion
+        mostly reads its home shard) short-circuits with a full-array
+        slice instead of paying ``np.unique`` + boolean masks per call.
+        """
+        if len(vertices) == 0:
+            return
         shard_ids = np.asarray(self.map.shard_of(vertices))
+        first = int(shard_ids[0])
+        if shard_ids[0] == shard_ids[-1] and (shard_ids == first).all():
+            lo, _ = self.map.span(first)
+            yield first, slice(None), vertices - lo
+            return
         for k in np.unique(shard_ids):
             mask = shard_ids == k
             lo, _ = self.map.span(int(k))
             yield int(k), mask, vertices[mask] - lo
 
     def degree(self, vertex: int) -> int:
-        shard = int(self.map.shard_of(int(vertex)))
-        offsets, _ = self._arrays(shard)
+        vertex = int(vertex)
+        shard = int(self.map.shard_of(vertex))
+        offsets = self._offsets_for(shard)
         lo, _ = self.map.span(shard)
-        local = int(vertex) - lo
+        local = vertex - lo
         return int(offsets[local + 1] - offsets[local])
 
     def degrees(self, vertices: np.ndarray | None = None) -> np.ndarray:
         if vertices is None:
             parts = [
-                np.diff(self._arrays(k)[0]) for k in range(self.map.num_shards)
+                np.diff(self._offsets_for(k)) for k in range(self.map.num_shards)
             ]
             return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         vertices = np.asarray(vertices, dtype=np.int64)
         out = np.empty(len(vertices), dtype=np.int64)
         for shard, mask, local in self._per_shard(vertices):
-            offsets, _ = self._arrays(shard)
+            offsets = self._offsets_for(shard)
             out[mask] = offsets[local + 1] - offsets[local]
         return out
 
     def neighbors_of(self, vertex: int) -> np.ndarray:
-        shard = int(self.map.shard_of(int(vertex)))
+        vertex = int(vertex)
+        shard = int(self.map.shard_of(vertex))
+        row = self._halo_lookup(shard, vertex)
+        if row is not None:
+            return row
+        populate = self.halo_bytes != 0 and shard not in self._resident
+        if populate:
+            self.halo_misses += 1
         offsets, neighbors = self._arrays(shard)
         lo, _ = self.map.span(shard)
-        local = int(vertex) - lo
-        return neighbors[offsets[local] : offsets[local + 1]]
+        local = vertex - lo
+        row = neighbors[offsets[local] : offsets[local + 1]]
+        if populate:
+            self._halo_store(vertex, row)
+        return row
 
     def volume(self, vertices: np.ndarray) -> int:
         return int(self.degrees(np.asarray(vertices, dtype=np.int64)).sum())
@@ -453,6 +590,12 @@ class ShardedGraphView:
         pick = np.asarray(pick, dtype=np.int64)
         out = np.empty(len(vertices), dtype=np.int64)
         for shard, mask, local in self._per_shard(vertices):
+            rows = self._halo_rows(shard, vertices[mask])
+            if rows is not None:
+                out[mask] = [
+                    row[p] for row, p in zip(rows, pick[mask].tolist())
+                ]
+                continue
             offsets, neighbors = self._arrays(shard)
             out[mask] = neighbors[offsets[local] + pick[mask]]
         return out
@@ -483,7 +626,23 @@ class ShardedGraphView:
         sources = np.repeat(vertices, degs)
         targets = np.empty(total, dtype=np.int64)
         for shard, mask, local in self._per_shard(vertices):
+            rows = self._halo_rows(shard, vertices[mask])
+            if rows is not None:
+                for start, count_v, row in zip(
+                    starts[mask].tolist(), degs[mask].tolist(), rows
+                ):
+                    targets[start : start + count_v] = row
+                continue
+            populate = self.halo_bytes != 0 and shard not in self._resident
+            if populate:
+                self.halo_misses += 1
             offsets, neighbors = self._arrays(shard)
+            if populate:
+                for v, loc in zip(
+                    vertices[mask][:_HALO_GROUP_CAP].tolist(),
+                    local[:_HALO_GROUP_CAP].tolist(),
+                ):
+                    self._halo_store(v, neighbors[offsets[loc] : offsets[loc + 1]])
             degs_k = degs[mask]
             count = int(degs_k.sum())
             if count == 0:

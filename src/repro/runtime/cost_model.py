@@ -34,6 +34,7 @@ Example
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -41,6 +42,7 @@ from typing import Iterator
 
 __all__ = [
     "CategoryCost",
+    "CostModel",
     "WorkDepthTracker",
     "track",
     "record",
@@ -106,6 +108,121 @@ def log2ceil(n: float) -> float:
     if n <= 1:
         return 0.0
     return float(math.ceil(math.log2(n)))
+
+
+@dataclass
+class _Ewma:
+    """A sample-count-aware exponentially weighted moving average.
+
+    Early observations use ``1/n`` weighting (a plain running mean) so the
+    first few samples aren't dominated by the very first one; once ``n``
+    exceeds ``1/alpha`` the estimate tracks recent samples with weight
+    ``alpha`` — the usual EWMA regime.
+    """
+
+    alpha: float
+    value: float = 0.0
+    count: int = 0
+
+    def observe(self, sample: float) -> None:
+        self.count += 1
+        weight = max(self.alpha, 1.0 / self.count)
+        self.value += weight * (sample - self.value)
+
+
+class CostModel:
+    """Online calibration of a-priori work bounds against measured seconds.
+
+    The scheduler's closed-form bounds (above) predict *relative* job cost
+    from parameters alone, but their constant factors are loose and differ
+    per method, and the compiled kernels shift them by 1-2 orders of
+    magnitude.  This model learns the true seconds-per-work-unit per
+    ``(method, kernel)`` key from completed job outcomes, within and across
+    batches in a session.
+
+    Calibrated estimates stay in the *static estimate's units* so they can
+    be compared against thresholds expressed in those units (the serving
+    plane's ``max_batch_cost``): the correction applied to a raw work bound
+    is ``spu(key) / spu_global``, where ``spu(key)`` is the learned
+    seconds-per-raw-unit for the key and ``spu_global`` is the learned
+    seconds-per-*static-estimate-unit* over all observations.  For a
+    homogeneous workload the two cancel and the calibrated estimate equals
+    the static one; for a mixed workload the ratios re-rank jobs by their
+    measured relative speeds.
+
+    Thread-safe: the serving plane observes outcomes on its event-loop
+    thread while a pool session estimates on an executor thread.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._per_key: dict[tuple[str, str], _Ewma] = {}
+        self._global = _Ewma(alpha)
+        self._lock = threading.Lock()
+
+    def observe(
+        self,
+        method: str,
+        kernel: str,
+        units: float,
+        seconds: float,
+        static: float | None = None,
+    ) -> None:
+        """Fold one completed job into the model.
+
+        ``units`` is the job's *raw* work bound (no kernel scale) and
+        ``seconds`` its measured wall time; ``static`` is the job's static
+        estimate (kernel-scaled, floored), used to anchor calibrated
+        estimates to static units.  Degenerate samples (non-positive
+        units, negative seconds) are ignored rather than poisoning the
+        averages.
+        """
+        if units <= 0.0 or seconds < 0.0:
+            return
+        with self._lock:
+            key = (method, kernel)
+            ewma = self._per_key.get(key)
+            if ewma is None:
+                ewma = self._per_key[key] = _Ewma(self.alpha)
+            ewma.observe(seconds / units)
+            if static is not None and static > 0.0:
+                self._global.observe(seconds / static)
+
+    def calibration_factor(self, method: str, kernel: str | None) -> float | None:
+        """Seconds-per-raw-unit for the key, normalised to static units.
+
+        Returns ``None`` until the key has been observed (callers fall back
+        to the static estimate), else ``spu(key) / spu_global`` — the
+        multiplier that converts the raw work bound into calibrated cost
+        expressed in static-estimate units.
+        """
+        with self._lock:
+            ewma = self._per_key.get((method, kernel or "python"))
+            if ewma is None or ewma.count == 0:
+                return None
+            if self._global.count == 0 or self._global.value <= 0.0:
+                return None
+            return ewma.value / self._global.value
+
+    @property
+    def observations(self) -> int:
+        """Total samples folded in (across all keys)."""
+        with self._lock:
+            return sum(e.count for e in self._per_key.values())
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Calibration state for stats surfaces: per-key measured
+        seconds-per-raw-work-unit and sample counts."""
+        with self._lock:
+            return {
+                f"{method}/{kernel}": {
+                    "seconds_per_unit": ewma.value,
+                    "samples": float(ewma.count),
+                }
+                for (method, kernel), ewma in sorted(self._per_key.items())
+            }
 
 
 @dataclass

@@ -57,7 +57,8 @@ from typing import TYPE_CHECKING, Any, Iterable
 from ..core.options import PRIORITIES, ClusterRequest
 from ..engine.executor import BatchEngine, ExecutionSession, JobOutcome, resolve_engine
 from ..engine.jobs import DiffusionJob
-from ..engine.scheduler import estimate_cost
+from ..engine.scheduler import estimate_cost, observe_outcome
+from ..runtime.cost_model import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import ResultCache
@@ -74,7 +75,15 @@ class ServiceClosed(RuntimeError):
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters over the service's lifetime."""
+    """Aggregate counters over the service's lifetime.
+
+    ``steals``, ``busy_seconds`` and ``idle_seconds`` mirror the engine's
+    work-stealing dispatch accounting (zero for pool-less backends);
+    ``dispatch`` carries the full per-backend summary and
+    ``cost_calibration`` the online cost model's per-(method, kernel)
+    seconds-per-work-unit snapshot — both refreshed after every executed
+    batch.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -82,7 +91,12 @@ class ServiceStats:
     cancelled: int = 0
     batches: int = 0
     cache_hits: int = 0
+    steals: int = 0
+    busy_seconds: float = 0.0
+    idle_seconds: float = 0.0
     by_priority: dict[str, int] = field(default_factory=dict)
+    dispatch: dict[str, float | int] | None = None
+    cost_calibration: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def describe(self) -> str:
         per_priority = " ".join(
@@ -92,7 +106,8 @@ class ServiceStats:
             f"submitted={self.submitted} ({per_priority}) "
             f"completed={self.completed} failed={self.failed} "
             f"cancelled={self.cancelled} batches={self.batches} "
-            f"cache_hits={self.cache_hits}"
+            f"cache_hits={self.cache_hits} steals={self.steals} "
+            f"busy={self.busy_seconds:.3f}s idle={self.idle_seconds:.3f}s"
         )
 
 
@@ -118,7 +133,8 @@ class DiffusionService:
         ``None`` infers serial/process/sharded from ``workers`` and
         ``shards`` exactly like the engine constructor.  ``workers``,
         ``cache``, ``start_method``, ``schedule``, ``shards``,
-        ``max_resident_shards``, ``spill_shards`` and ``kernel`` follow
+        ``max_resident_shards``, ``spill_shards``, ``halo_bytes`` and
+        ``kernel`` follow
         :func:`repro.engine.resolve_engine` — with ``shards=`` the service
         executes through the shard-routed backend, so a memory-capped
         process serves the graph with only each query's shard(s) resident;
@@ -159,6 +175,7 @@ class DiffusionService:
         shards: int | None = None,
         max_resident_shards: int | None = None,
         spill_shards: int | None = None,
+        halo_bytes: int | None = None,
         kernel: str | None = None,
         options: "EngineOptions | None" = None,
         max_batch: int = 32,
@@ -183,6 +200,7 @@ class DiffusionService:
             shards=shards,
             max_resident_shards=max_resident_shards,
             spill_shards=spill_shards,
+            halo_bytes=halo_bytes,
             kernel=kernel,
             options=options,
         )
@@ -190,6 +208,13 @@ class DiffusionService:
         self.max_linger = max_linger
         self.max_batch_cost = max_batch_cost
         self.stats = ServiceStats()
+        # Admission costs calibrate online.  A pool backend owns a model
+        # (its session observes every outcome); pool-less backends get a
+        # service-owned one fed from _resolve, so `max_batch_cost` tracks
+        # measured seconds-per-work-unit either way.
+        engine_model = self.engine.cost_model
+        self._cost_model = engine_model if engine_model is not None else CostModel()
+        self._observe_outcomes = engine_model is None
         self._queues: dict[str, deque[_Ticket]] = {p: deque() for p in PRIORITIES}
         self._session: ExecutionSession | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -306,7 +331,11 @@ class DiffusionService:
         future: "asyncio.Future[JobOutcome]" = self._loop.create_future()
         # The estimate instantiates the params dataclass again; only pay
         # for it when a cost cap will actually consult it at drain time.
-        cost = estimate_cost(job) if self.max_batch_cost is not None else 0.0
+        cost = (
+            estimate_cost(job, self._cost_model)
+            if self.max_batch_cost is not None
+            else 0.0
+        )
         ticket = _Ticket(job=job, priority=priority, cost=cost, future=future)
         self._queues[priority].append(ticket)
         self.stats.submitted += 1
@@ -411,6 +440,19 @@ class DiffusionService:
                     if not ticket.future.done():
                         self.stats.failed += 1
                         ticket.future.set_exception(error)
+            self._refresh_scheduler_stats()
+
+    def _refresh_scheduler_stats(self) -> None:
+        """Mirror the engine's dispatch accounting and the calibration
+        snapshot onto :class:`ServiceStats` (after every batch)."""
+        dispatch = self.engine.dispatch_stats
+        if dispatch is not None:
+            summary = dispatch.describe()
+            self.stats.dispatch = summary
+            self.stats.steals = int(summary["steals"])
+            self.stats.busy_seconds = float(summary["busy_seconds"])
+            self.stats.idle_seconds = float(summary["idle_seconds"])
+        self.stats.cost_calibration = self._cost_model.snapshot()
 
     def _next_batch(self) -> list[_Ticket]:
         """Compose the next micro-batch: interactive first, FIFO within
@@ -453,6 +495,11 @@ class DiffusionService:
     def _resolve(self, ticket: _Ticket, outcome: JobOutcome) -> None:
         if outcome.cached:
             self.stats.cache_hits += 1
+        elif self._observe_outcomes:
+            # Pool backends observe inside their session; for pool-less
+            # backends the service feeds its own model here so admission
+            # costs still calibrate across batches.
+            observe_outcome(self._cost_model, outcome)
         if ticket.future.done():  # cancelled while in flight
             self.stats.cancelled += 1
             return

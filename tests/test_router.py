@@ -167,6 +167,55 @@ class TestSessions:
             session.run([DiffusionJob.make(0)])
 
 
+class TestRouterStats:
+    """Session-level accounting: spills, view attach/evict counters, and
+    the halo hit/miss stats that ride on the same fold."""
+
+    def test_spill_accounting_matches_fallback_runs(self, graph, jobs, reference):
+        engine = BatchEngine(graph, shards=8, spill_shards=1)
+        session = engine.open_session()
+        try:
+            outcomes = list(session.run(jobs))
+            assert_outcomes_match(reference, outcomes)
+            stats = session.stats
+            assert 0 < stats.spills <= stats.jobs == len(jobs)
+            assert stats.groups == len(stats.jobs_per_home)
+            assert sum(stats.jobs_per_home.values()) == len(jobs)
+        finally:
+            session.close()
+
+    def test_attach_evict_and_halo_counters_fold_into_stats(
+        self, graph, jobs, reference
+    ):
+        engine = BatchEngine(graph, shards=4, max_resident_shards=1)
+        session = engine.open_session()
+        try:
+            outcomes = list(session.run(jobs))
+            assert_outcomes_match(reference, outcomes)
+            stats = session.stats
+            assert stats.lazy_attaches > 0
+            assert stats.detaches > 0  # the residency cap actually bit
+            assert stats.halo_misses > 0  # rows were populated...
+            assert stats.halo_hits > 0  # ...and re-served without attach
+            described = stats.describe()
+            for field in ("spills=", "attaches=", "halo_hits=", "halo_misses="):
+                assert field in described
+        finally:
+            session.close()
+
+    def test_disabled_halo_records_nothing(self, graph, jobs, reference):
+        engine = BatchEngine(graph, shards=4, halo_bytes=0)
+        session = engine.open_session()
+        try:
+            outcomes = list(session.run(jobs))
+            assert_outcomes_match(reference, outcomes)
+            assert session.stats.halo_hits == 0
+            assert session.stats.halo_misses == 0
+            assert session.stats.halo_evictions == 0
+        finally:
+            session.close()
+
+
 class TestConfiguration:
     def test_backend_name_and_inference(self, graph):
         assert isinstance(BatchEngine(graph, shards=2).backend, ShardRouter)
@@ -181,6 +230,10 @@ class TestConfiguration:
             {"shards": 2, "start_method": "spawn"},
             {"shards": 2, "schedule": "fifo"},
             {"backend": "serial", "max_resident_shards": 1},
+            {"backend": "serial", "halo_bytes": 1024},
+            # 0 means "explicitly disabled", not "unset" — it must still be
+            # rejected on a backend that has no halo to disable.
+            {"backend": "serial", "halo_bytes": 0},
             {"backend": "process", "shards": 2},
         ],
     )
@@ -204,6 +257,12 @@ class TestConfiguration:
         engine = resolve_engine(graph, shards=3, max_resident_shards=2)
         assert isinstance(engine.backend, ShardRouter)
         assert engine.backend.max_resident_shards == 2
+
+    def test_halo_bytes_knob_threads_through(self, graph):
+        assert BatchEngine(graph, shards=2, halo_bytes=4096).backend.halo_bytes == 4096
+        assert resolve_engine(graph, shards=2, halo_bytes=0).backend.halo_bytes == 0
+        with pytest.raises(ValueError):
+            ShardRouter(shards=2, halo_bytes=-1)
 
 
 class TestComposition:

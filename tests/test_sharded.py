@@ -278,6 +278,106 @@ class TestSpill:
             ShardRouter(shards=0)
 
 
+class TestHalo:
+    """The boundary-row cache: repeat cross-shard reads are served from a
+    small LRU of copied adjacency rows — no attach, no spill contribution,
+    bit-identical rows — and a byte budget bounds it."""
+
+    def test_hit_serves_row_without_attach(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            cut = sharded.map.boundaries[1]
+            home, away = cut - 1, cut  # last vertex of shard 0, first of 1
+            with sharded.view(max_resident=1) as view:
+                view.neighbors_of(home)  # miss: attach shard 0, cache row
+                view.neighbors_of(away)  # miss: attach shard 1 (evicts 0)
+                attaches = view.attaches
+                assert view.halo_misses == 2 and view.halo_hits == 0
+                row = view.neighbors_of(home)  # shard 0 gone: halo serves it
+                assert view.attaches == attaches  # no new attach
+                assert view.halo_hits == 1
+                assert np.array_equal(row, graph.neighbors_of(home))
+                assert view.degree(home) == graph.degree(home)
+
+    def test_resident_shard_reads_bypass_halo(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            with sharded.view() as view:
+                view.neighbors_of(0)
+                misses = view.halo_misses
+                view.neighbors_of(0)  # shard now resident: halo not consulted
+                assert view.halo_hits == 0
+                assert view.halo_misses == misses
+
+    def test_tiny_budget_evicts_and_stays_exact(self, graph):
+        job = DiffusionJob.make(7, params={"alpha": 0.01, "eps": 1e-6})
+        reference = run_job(graph, job)
+        with ShardedCSR.create(graph, shards=6) as sharded:
+            with sharded.view(max_resident=1, halo_bytes=256) as view:
+                outcome = run_job(view, job)
+                assert view.halo_evictions > 0  # the budget actually bit
+                assert view._halo_nbytes <= view.halo_bytes + 8 * graph.num_vertices
+        assert_outcome_identical(reference, outcome)
+
+    def test_zero_budget_disables_cache(self, graph):
+        job = DiffusionJob.make(7, params={"alpha": 0.01, "eps": 1e-6})
+        reference = run_job(graph, job)
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view(max_resident=1, halo_bytes=0) as view:
+                outcome = run_job(view, job)
+                assert view.halo_hits == 0 and view.halo_misses == 0
+                assert view.halo_evictions == 0
+        assert_outcome_identical(reference, outcome)
+
+    def test_negative_budget_rejected(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            with pytest.raises(ValueError, match="halo_bytes"):
+                sharded.view(halo_bytes=-1)
+
+    def test_halo_hits_do_not_count_toward_spill(self, graph):
+        """A halo-served read never touches the neighbour shard, so it must
+        not contribute to a job's spill footprint either."""
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            cut = sharded.map.boundaries[1]
+            home, away = cut - 1, cut
+            with sharded.view(max_resident=1, spill_shards=1) as view:
+                view.neighbors_of(away)  # warm the halo with shard 1's row
+                view.reset_spill()
+                view.neighbors_of(home)  # shard 0 attaches (evicts shard 1)
+                view.reset_spill()
+                # One job reading both sides of the cut: the shard-1 row
+                # comes from the halo, so footprint stays at one shard.
+                view.neighbors_of(home)
+                view.neighbors_of(away)  # would spill without the halo
+                assert view.halo_hits > 0
+                assert view.resident_shards <= 1
+
+    def test_vectorized_reads_consistent_with_scalar(self, graph):
+        rng = np.random.default_rng(7)
+        vertices = rng.integers(0, graph.num_vertices, 300).astype(np.int64)
+        with ShardedCSR.create(graph, shards=4) as sharded:
+            with sharded.view(max_resident=1) as view:
+                # Two passes: the second is served largely from the halo.
+                for _ in range(2):
+                    assert np.array_equal(
+                        view.degrees(vertices), graph.degrees(vertices)
+                    )
+                    sources, targets = view.gather_edges(vertices)
+                    ref_sources, ref_targets = graph.gather_edges(vertices)
+                    assert np.array_equal(sources, ref_sources)
+                    assert np.array_equal(targets, ref_targets)
+                assert view.halo_hits > 0
+
+    def test_close_clears_halo(self, graph):
+        with ShardedCSR.create(graph, shards=2) as sharded:
+            view = sharded.view(max_resident=1)
+            cut = sharded.map.boundaries[1]
+            view.neighbors_of(cut)
+            view.neighbors_of(0)
+            view.close()
+            assert view._halo_nbytes == 0
+            with pytest.raises(RuntimeError):
+                view.neighbors_of(cut)  # halo gone; closed views stay closed
+
+
 class TestLifecycle:
     def test_context_manager_unlinks_every_shard(self, graph):
         with ShardedCSR.create(graph, shards=3) as sharded:
