@@ -42,15 +42,15 @@ def _run_experiment(graphs):
         graph = graphs[name]
         seed = seed_for(graph)
         for label, fn in ALGORITHMS:
-            run = profiled_run(lambda: fn(graph, seed))
+            run = profiled_run(lambda fn=fn, g=graph, s=seed: fn(g, s))
             curve = PAPER_MACHINE.speedup_curve(run.tracker, CORE_COUNTS)
-            rows.append([name, label] + [round(s, 2) for s in curve])
+            rows.append([name, label, *(round(s, 2) for s in curve)])
     return rows
 
 
 def test_figure9_speedup_curves(benchmark, graphs):
     rows = benchmark.pedantic(lambda: _run_experiment(graphs), rounds=1, iterations=1)
-    headers = ["graph", "algorithm"] + [f"{c}c" for c in CORE_COUNTS]
+    headers = ["graph", "algorithm", *(f"{c}c" for c in CORE_COUNTS)]
     print()
     print(
         format_table(

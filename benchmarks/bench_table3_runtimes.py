@@ -72,8 +72,8 @@ def _run_experiment(graphs):
         seed = seed_for(graph)
         nibble_vector = None
         for label, parallel_fn, sequential_fn in ALGORITHMS:
-            par = profiled_run(lambda: parallel_fn(graph, seed))
-            seq = profiled_run(lambda: sequential_fn(graph, seed))
+            par = profiled_run(lambda fn=parallel_fn, g=graph, s=seed: fn(g, s))
+            seq = profiled_run(lambda fn=sequential_fn, g=graph, s=seed: fn(g, s))
             if label == "Nibble":
                 nibble_vector = par.value.vector
             rows.append(

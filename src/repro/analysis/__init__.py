@@ -1,0 +1,72 @@
+"""``repro.analysis`` — the repo's AST-based invariant checker.
+
+The paper's guarantees hold because this codebase enforces contracts
+stronger than Python does: bit-identical results across kernels and
+backends, every engine knob threaded through all five entry layers,
+every OS-level resource paired with a deterministic teardown.  This
+package machine-checks those contracts with stdlib-``ast`` rules, so a
+violation fails CI instead of waiting for a reviewer to remember it.
+
+Run it as ``repro analyze [paths]``, ``python -m repro.analysis``, or
+programmatically:
+
+>>> import pathlib, tempfile
+>>> from repro.analysis import analyze
+>>> tmp = tempfile.TemporaryDirectory()
+>>> hot = pathlib.Path(tmp.name) / "core"
+>>> hot.mkdir()
+>>> _ = (hot / "bad.py").write_text("import time\\nnow = time.time()\\n")
+>>> report = analyze([tmp.name])
+>>> [f.rule for f in report.findings]
+['wall-clock']
+>>> tmp.cleanup()
+
+Suppress a single finding with a trailing ``# repro: ignore[rule-id]``
+comment on the flagged line (``ignore[all]`` silences every rule
+there).  Rule ids and the invariants behind them are catalogued in
+``docs/invariants.md``.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    AnalysisError,
+    Finding,
+    Project,
+    Report,
+    Rule,
+    Source,
+    analyze,
+)
+from .determinism import (
+    FastMathRule,
+    GlobalRandomRule,
+    UnorderedIterationRule,
+    WallClockRule,
+)
+from .errors import ErrorSurfaceRule
+from .knobs import KnobThreadingRule, WireSchemaRule
+from .lifecycle import ResourceLifecycleRule
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "Finding",
+    "Project",
+    "Report",
+    "Rule",
+    "Source",
+    "analyze",
+]
+
+#: The default rule registry, in reporting order.
+ALL_RULES: tuple[Rule, ...] = (
+    KnobThreadingRule(),
+    WireSchemaRule(),
+    ResourceLifecycleRule(),
+    UnorderedIterationRule(),
+    GlobalRandomRule(),
+    WallClockRule(),
+    FastMathRule(),
+    ErrorSurfaceRule(),
+)

@@ -1,0 +1,111 @@
+"""Command-line front end for the invariant checker.
+
+Exit codes follow the linter convention: ``0`` means every analyzed
+file is clean, ``1`` means findings were reported, ``2`` means the run
+itself failed (bad path, unknown rule id, internal error).  ``--json``
+emits the machine-readable report used by tooling; the default output
+is one ``path:line: rule-id: message`` line per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, Sequence
+
+from . import ALL_RULES
+from .core import AnalysisError, analyze
+
+__all__ = ["build_parser", "main", "run"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+
+def default_paths() -> list[str]:
+    """With no paths given, analyze the installed ``repro`` package."""
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="AST-based invariant checker (see docs/invariants.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids and what they check, then exit",
+    )
+    return parser
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    as_json: bool = False,
+    select: str | None = None,
+    list_rules: bool = False,
+    stdout: IO[str] | None = None,
+    stderr: IO[str] | None = None,
+) -> int:
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    if list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}: {rule.summary}", file=out)
+        return EXIT_CLEAN
+    rules = list(ALL_RULES)
+    try:
+        if select is not None:
+            wanted = {part.strip() for part in select.split(",") if part.strip()}
+            known = {rule.id for rule in rules}
+            unknown = wanted - known
+            if unknown:
+                raise AnalysisError(
+                    f"unknown rule id(s): {', '.join(sorted(unknown))} "
+                    f"(known: {', '.join(sorted(known))})"
+                )
+            rules = [rule for rule in rules if rule.id in wanted]
+        report = analyze(list(paths) or default_paths(), rules)
+    except AnalysisError as error:
+        print(f"repro-analyze: error: {error}", file=err)
+        return EXIT_INTERNAL
+    except Exception as error:  # pragma: no cover - defensive
+        print(f"repro-analyze: internal error: {error!r}", file=err)
+        return EXIT_INTERNAL
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        args.paths,
+        as_json=args.as_json,
+        select=args.select,
+        list_rules=args.list_rules,
+    )

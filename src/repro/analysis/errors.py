@@ -1,0 +1,114 @@
+"""Error-surface consistency: every ``RequestError`` names a real field.
+
+Wire replies carry ``{"field": …}`` so clients can point at the exact
+request key that failed.  That contract rots silently: rename a knob
+and a ``RequestError("old_name", …)`` somewhere keeps compiling while
+pointing clients at a field that no longer exists.  This rule collects
+the canonical field surface from the file that defines
+``ClusterRequest``/``EngineOptions`` (request fields + engine knobs +
+the wire envelope keys ``v``/``params``) and checks every literal
+``RequestError(field, …)`` call in the project against it.
+
+Dynamic fields are handled conservatively: ``f"params.{name}"`` is
+accepted (the ``params.`` namespace is validated per-method at
+runtime), and a non-literal expression (``str(name)``) is skipped —
+the rule only flags what it can prove wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Project, Rule
+from .knobs import _dataclass_fields
+
+__all__ = ["ErrorSurfaceRule"]
+
+#: Wire-envelope keys that are addressable but not dataclass fields.
+ENVELOPE_FIELDS = frozenset({"v", "params"})
+
+#: Dotted prefix for per-method parameter errors (validated at runtime).
+PARAMS_PREFIX = "params."
+
+
+class ErrorSurfaceRule(Rule):
+    id = "error-surface"
+    summary = (
+        "RequestError(field, ...) must name a ClusterRequest/EngineOptions "
+        "field (or None, or a params.* path)"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        canonical = self._canonical_fields(project)
+        if canonical is None:
+            return
+        for source in project.sources:
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if name != "RequestError":
+                    continue
+                field = self._field_argument(node)
+                if field is None:
+                    continue
+                verdict = self._verdict(field, canonical)
+                if verdict is not None:
+                    yield source.finding(self.id, node, verdict)
+
+    @staticmethod
+    def _canonical_fields(project: Project) -> frozenset[str] | None:
+        located = project.find_class("ClusterRequest")
+        if located is None:
+            return None
+        _, request_class = located
+        fields = set(_dataclass_fields(request_class))
+        options = project.find_class("EngineOptions")
+        if options is not None:
+            fields |= set(_dataclass_fields(options[1]))
+        return frozenset(fields | ENVELOPE_FIELDS)
+
+    @staticmethod
+    def _field_argument(node: ast.Call) -> ast.expr | None:
+        if node.args:
+            return node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "field":
+                return keyword.value
+        return None
+
+    @staticmethod
+    def _verdict(field: ast.expr, canonical: frozenset[str]) -> str | None:
+        if isinstance(field, ast.Constant):
+            value = field.value
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                return f"RequestError field must be a string or None, not {value!r}"
+            if value in canonical or value.startswith(PARAMS_PREFIX):
+                return None
+            return (
+                f"RequestError names field {value!r} which does not exist on "
+                "the options surface (known: ClusterRequest/EngineOptions "
+                "fields, 'v', 'params', 'params.*')"
+            )
+        if isinstance(field, ast.JoinedStr) and field.values:
+            head = field.values[0]
+            if (
+                isinstance(head, ast.Constant)
+                and isinstance(head.value, str)
+                and not head.value.startswith(PARAMS_PREFIX)
+                and head.value not in canonical
+            ):
+                return (
+                    f"RequestError f-string field starts with {head.value!r}, "
+                    "which is not a canonical field or 'params.' path"
+                )
+        return None

@@ -1,0 +1,294 @@
+"""Knob-threading completeness: every engine knob reaches every layer.
+
+The repo's bug history (PRs 4 and 8 both shipped fix-sweeps for
+silently-ignored knobs) is one bug class: a field added to
+:class:`~repro.core.options.EngineOptions` that one of the five entry
+layers never learned about, so the knob is accepted at the edge and
+dropped on the floor inside.  These rules read the *definitions* —
+the options dataclasses, the ``_ENGINE_KNOBS`` wire tuple, the
+``BatchEngine``/``resolve_engine``/``DiffusionService`` signatures and
+the argparse flags in ``cli.py`` — and cross-check them, so the gap is
+caught at analysis time instead of in a flaky integration test.
+
+Two rule ids:
+
+* ``knob-threading`` — EngineOptions fields vs ``_ENGINE_KNOBS`` vs the
+  three callable layers vs the CLI flag set.
+* ``wire-schema`` — ClusterRequest fields vs its wire-v1 ``known``
+  tuple and ``to_wire`` payload keys.
+
+Both locate their inputs *structurally* (the file that defines
+``class EngineOptions``, the one that defines ``build_parser``, …) so
+they work unchanged on fixture trees; if a definition is absent from
+the analyzed paths, its checks are skipped rather than failed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Project, Rule, Source
+
+__all__ = ["KnobThreadingRule", "WireSchemaRule"]
+
+#: ``resolve_engine``/``DiffusionService`` spell the ``backend`` knob
+#: ``engine`` (they accept a live engine object *or* a backend name).
+PARAM_ALIASES = {"backend": ("backend", "engine")}
+
+#: Knobs deliberately absent from the CLI: ``backend`` is inferred
+#: (``--shards``/``--workers`` imply it), ``parallel`` and
+#: ``include_vectors`` are per-call API arguments, not serving flags.
+CLI_EXEMPT = frozenset({"backend", "parallel", "include_vectors"})
+
+
+def _dataclass_fields(node: ast.ClassDef) -> dict[str, int]:
+    """Annotated field names of a dataclass body, with line numbers."""
+    fields: dict[str, int] = {}
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            fields[statement.target.id] = statement.lineno
+    return fields
+
+
+def _string_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    if isinstance(node, (ast.Tuple, ast.List)) and all(
+        isinstance(el, ast.Constant) and isinstance(el.value, str)
+        for el in node.elts
+    ):
+        return tuple(el.value for el in node.elts)
+    return None
+
+
+def _module_assignment(source: Source, name: str) -> tuple[ast.AST, int] | None:
+    for statement in source.tree.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return statement.value, statement.lineno
+    return None
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    names = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+    return {name for name in names if name != "self"}
+
+
+def _argparse_flags(source: Source) -> set[str]:
+    """Every ``--flag`` registered via ``add_argument``, as knob names."""
+    flags: set[str] = set()
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+        ):
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.add(arg.value[2:].replace("-", "_"))
+    return flags
+
+
+def _find_defining_source(
+    project: Project, class_name: str
+) -> tuple[Source, ast.ClassDef] | None:
+    return project.find_class(class_name)
+
+
+class KnobThreadingRule(Rule):
+    id = "knob-threading"
+    summary = (
+        "every EngineOptions field must be threaded through _ENGINE_KNOBS, "
+        "BatchEngine, resolve_engine, DiffusionService and the CLI flags"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        located = _find_defining_source(project, "EngineOptions")
+        if located is None:
+            return
+        options_source, options_class = located
+        fields = _dataclass_fields(options_class)
+
+        knobs = _module_assignment(options_source, "_ENGINE_KNOBS")
+        if knobs is not None:
+            value, lineno = knobs
+            names = _string_tuple(value)
+            if names is None:
+                yield options_source.finding(
+                    self.id, lineno, "_ENGINE_KNOBS is not a tuple of field names"
+                )
+            else:
+                for missing in sorted(set(fields) - set(names)):
+                    yield options_source.finding(
+                        self.id,
+                        lineno,
+                        f"EngineOptions.{missing} is missing from _ENGINE_KNOBS "
+                        "(the wire schema will drop it)",
+                    )
+                for extra in sorted(set(names) - set(fields)):
+                    yield options_source.finding(
+                        self.id,
+                        lineno,
+                        f"_ENGINE_KNOBS names {extra!r} which is not an "
+                        "EngineOptions field",
+                    )
+
+        yield from self._check_callable_layers(project, fields)
+        yield from self._check_cli(project, fields)
+
+    def _check_callable_layers(
+        self, project: Project, fields: dict[str, int]
+    ) -> Iterator[Finding]:
+        layers: list[tuple[Source, ast.FunctionDef | ast.AsyncFunctionDef, str]] = []
+        for class_name in ("BatchEngine", "DiffusionService"):
+            located = project.find_class(class_name)
+            if located is not None:
+                source, node = located
+                init = _method(node, "__init__")
+                if init is not None:
+                    layers.append((source, init, f"{class_name}.__init__"))
+        resolver = project.find_function("resolve_engine")
+        if resolver is not None:
+            source, node = resolver
+            layers.append((source, node, "resolve_engine"))
+        for source, node, label in layers:
+            params = _param_names(node)
+            for field in sorted(fields):
+                accepted = PARAM_ALIASES.get(field, (field,))
+                if not any(name in params for name in accepted):
+                    yield source.finding(
+                        self.id,
+                        node.lineno,
+                        f"{label} does not accept the EngineOptions knob "
+                        f"{field!r} (accepted at the options layer, dropped here)",
+                    )
+
+    def _check_cli(
+        self, project: Project, fields: dict[str, int]
+    ) -> Iterator[Finding]:
+        # Several modules may define a `build_parser` (the analyzer has its
+        # own); the engine flags may live in any of them, so union the flag
+        # sets and anchor findings at the richest parser (the real CLI).
+        candidates: list[tuple[Source, ast.AST, set[str]]] = []
+        for candidate in project.sources:
+            for node in candidate.tree.body:
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == "build_parser"
+                ):
+                    candidates.append((candidate, node, _argparse_flags(candidate)))
+                    break
+        if not candidates:
+            return
+        source, node, _ = max(candidates, key=lambda entry: len(entry[2]))
+        flags = set().union(*(entry[2] for entry in candidates))
+        for field in sorted(fields):
+            if field in CLI_EXEMPT:
+                continue
+            if field not in flags:
+                yield source.finding(
+                    self.id,
+                    node.lineno,
+                    f"no --{field.replace('_', '-')} CLI flag for the "
+                    f"EngineOptions knob {field!r}",
+                )
+
+
+class WireSchemaRule(Rule):
+    id = "wire-schema"
+    summary = (
+        "ClusterRequest fields, its from_wire known-set and its to_wire "
+        "payload keys must agree (wire schema v1)"
+    )
+    scope = "project"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        located = project.find_class("ClusterRequest")
+        if located is None:
+            return
+        source, node = located
+        fields = _dataclass_fields(node)
+
+        from_wire = _method(node, "from_wire")
+        if from_wire is not None:
+            known = self._known_tuple(from_wire)
+            if known is None:
+                yield source.finding(
+                    self.id,
+                    from_wire.lineno,
+                    "ClusterRequest.from_wire has no literal `known` tuple",
+                )
+            else:
+                names, lineno = known
+                expected = set(fields) | {"v"}
+                for missing in sorted(expected - set(names)):
+                    yield source.finding(
+                        self.id,
+                        lineno,
+                        f"wire field {missing!r} is not in from_wire's known set "
+                        "(strict v1 parses will reject it)",
+                    )
+                for extra in sorted(set(names) - expected):
+                    yield source.finding(
+                        self.id,
+                        lineno,
+                        f"from_wire's known set names {extra!r} which is not a "
+                        "ClusterRequest field",
+                    )
+
+        to_wire = _method(node, "to_wire")
+        if to_wire is not None:
+            written = self._written_keys(to_wire)
+            for missing in sorted(set(fields) - written):
+                yield source.finding(
+                    self.id,
+                    to_wire.lineno,
+                    f"ClusterRequest.{missing} is never written by to_wire "
+                    "(the field cannot round-trip)",
+                )
+
+    @staticmethod
+    def _known_tuple(
+        node: ast.FunctionDef,
+    ) -> tuple[tuple[str, ...], int] | None:
+        for statement in ast.walk(node):
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id == "known":
+                        names = _string_tuple(statement.value)
+                        if names is not None:
+                            return names, statement.lineno
+        return None
+
+    @staticmethod
+    def _written_keys(node: ast.FunctionDef) -> set[str]:
+        keys: set[str] = set()
+        for statement in ast.walk(node):
+            if isinstance(statement, ast.Dict):
+                for key in statement.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.add(target.slice.value)
+        return keys

@@ -83,33 +83,39 @@ def serve_and_report(mode, payload, jobs, max_resident, halo_bytes=None):
             payload, max_resident=max_resident, halo_bytes=halo_bytes
         )
         graph = holder
-    for index, job in enumerate(jobs):
-        run_job(graph, job, index=index, include_vector=False)
-    if holder is not None:
-        holder.attaches = 0
-        holder.detaches = 0
-        holder.halo_hits = 0
-        holder.halo_misses = 0
-        holder.halo_evictions = 0
-    latencies = []
-    checksum = 0
-    for index, job in enumerate(jobs):
-        start = time.perf_counter()
-        outcome = run_job(graph, job, index=index, include_vector=False)
-        latencies.append(time.perf_counter() - start)
-        checksum += outcome.pushes
-    report = {
-        "peak_rss_bytes": peak_rss_bytes(),
-        "latencies": latencies,
-        "pushes_checksum": checksum,
-        "resident_shards": holder.resident_shards if holder is not None else None,
-        "lazy_attaches": holder.attaches if holder is not None else None,
-        "halo_hits": holder.halo_hits if holder is not None else None,
-        "halo_misses": holder.halo_misses if holder is not None else None,
-        "halo_evictions": holder.halo_evictions if holder is not None else None,
-    }
-    if holder is not None:
-        holder.close()
+    # try/finally, not a trailing close(): a job that raises must still
+    # detach the view's resident shard segments before the probe child
+    # reports failure (an un-torn-down view pins shard mappings for the
+    # rest of the process lifetime).
+    try:
+        for index, job in enumerate(jobs):
+            run_job(graph, job, index=index, include_vector=False)
+        if holder is not None:
+            holder.attaches = 0
+            holder.detaches = 0
+            holder.halo_hits = 0
+            holder.halo_misses = 0
+            holder.halo_evictions = 0
+        latencies = []
+        checksum = 0
+        for index, job in enumerate(jobs):
+            start = time.perf_counter()
+            outcome = run_job(graph, job, index=index, include_vector=False)
+            latencies.append(time.perf_counter() - start)
+            checksum += outcome.pushes
+        report = {
+            "peak_rss_bytes": peak_rss_bytes(),
+            "latencies": latencies,
+            "pushes_checksum": checksum,
+            "resident_shards": holder.resident_shards if holder is not None else None,
+            "lazy_attaches": holder.attaches if holder is not None else None,
+            "halo_hits": holder.halo_hits if holder is not None else None,
+            "halo_misses": holder.halo_misses if holder is not None else None,
+            "halo_evictions": holder.halo_evictions if holder is not None else None,
+        }
+    finally:
+        if holder is not None:
+            holder.close()
     return report
 
 

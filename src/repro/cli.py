@@ -533,6 +533,17 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.cli import run
+
+    return run(
+        args.paths,
+        as_json=args.as_json,
+        select=args.select,
+        list_rules=args.list_rules,
+    )
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     try:
         store = DiskStore(args.cache_dir, create=False)
@@ -749,6 +760,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", required=True, help="result cache directory (see --cache-dir)"
     )
     cache.set_defaults(run=_cmd_cache)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the AST invariant checker (knob threading, resource "
+        "lifecycle, determinism, error surface; see docs/invariants.md)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze (default: the repro package)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable JSON report",
+    )
+    analyze.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule ids to run"
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids and what they check, then exit",
+    )
+    analyze.set_defaults(run=_cmd_analyze)
     return parser
 
 

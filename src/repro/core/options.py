@@ -106,7 +106,7 @@ def _canonical_value(value: Any) -> Any:
     return value
 
 
-def _algorithms() -> dict:
+def _algorithms() -> dict[str, Any]:
     # Imported lazily: repro.core.api is the heavyweight algorithm table
     # and importing it at module load would cycle through this module.
     from .api import ALGORITHMS

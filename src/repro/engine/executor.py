@@ -941,14 +941,17 @@ class BatchEngine:
                 schedule=schedule if schedule is not None else "cost",
             )
         elif isinstance(backend, (PoolBackend, CachingBackend)):
-            conflicts = shard_knobs + [
-                name
-                for name, value in (
-                    ("workers", workers),
-                    ("start_method", start_method),
-                    ("schedule", schedule),
-                )
-                if value is not None
+            conflicts = [
+                *shard_knobs,
+                *(
+                    name
+                    for name, value in (
+                        ("workers", workers),
+                        ("start_method", start_method),
+                        ("schedule", schedule),
+                    )
+                    if value is not None
+                ),
             ]
             if conflicts:
                 raise ValueError(

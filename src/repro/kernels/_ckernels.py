@@ -26,6 +26,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -39,9 +40,18 @@ __all__ = ["build", "compiler", "KernelBuildError"]
 #: environment override for the compiled-kernel cache directory.
 CACHE_ENV = "REPRO_KERNEL_CACHE"
 
+#: extra build flags appended to :data:`CFLAGS` (shlex syntax) — the CI
+#: sanitizer leg injects ``-fsanitize=address,undefined`` here.  Flags
+#: land in the cache tag, so sanitized and plain builds never collide.
+EXTRA_CFLAGS_ENV = "REPRO_KERNEL_CFLAGS"
+
 #: strictly-IEEE optimisation flags: -O3 for the speed the kernels exist
 #: for, contraction and fast-math explicitly off for bit-identity.
 CFLAGS = ["-O3", "-shared", "-fPIC", "-ffp-contract=off", "-fno-fast-math"]
+
+#: value-changing FP optimisations that would detach the C kernel from
+#: its Python twin; rejected even when injected via the environment.
+_FORBIDDEN_CFLAGS = ("-ffast-math", "-Ofast", "-funsafe-math-optimizations", "-fassociative-math", "-freciprocal-math", "-ffp-contract=fast")  # repro: ignore[fast-math]
 
 SOURCE = r"""
 #include <stdint.h>
@@ -208,10 +218,29 @@ def _cache_dir() -> Path:
     return Path(tempfile.gettempdir()) / f"repro-kernels-{uid}"
 
 
+def _extra_cflags() -> list[str]:
+    """Flags from :data:`EXTRA_CFLAGS_ENV`, with fast-math rejected.
+
+    The determinism contract is not overridable from the environment: a
+    sanitizer leg may add instrumentation, but any value-changing FP
+    flag raises :class:`KernelBuildError` before a compiler ever runs.
+    """
+    flags = shlex.split(os.environ.get(EXTRA_CFLAGS_ENV, ""))
+    for flag in flags:
+        if flag in _FORBIDDEN_CFLAGS:
+            raise KernelBuildError(
+                f"{EXTRA_CFLAGS_ENV} contains {flag!r}, which breaks "
+                "bit-identity with the Python twin kernels; strict "
+                "IEEE-754 builds only"
+            )
+    return flags
+
+
 def _build_library(cc: str) -> Path:
     """Compile (or reuse) the kernel library; returns its path."""
+    cflags = CFLAGS + _extra_cflags()
     tag = hashlib.blake2b(
-        (SOURCE + " ".join(CFLAGS) + cc).encode("utf-8"), digest_size=10
+        (SOURCE + " ".join(cflags) + cc).encode("utf-8"), digest_size=10
     ).hexdigest()
     suffix = ".dll" if sys.platform == "win32" else ".so"
     directory = _cache_dir()
@@ -224,7 +253,7 @@ def _build_library(cc: str) -> Path:
     source.write_text(SOURCE)
     try:
         proc = subprocess.run(
-            [cc, *CFLAGS, "-o", str(scratch), str(source)],
+            [cc, *cflags, "-o", str(scratch), str(source)],
             capture_output=True,
             text=True,
             timeout=120,

@@ -1,0 +1,174 @@
+"""Tests for the `repro analyze` / `python -m repro.analysis` front end.
+
+The contract tooling relies on: exit code 0 when every analyzed file is
+clean, 1 when findings are reported, 2 when the run itself fails (bad
+path, unknown rule id); `--json` emits the versioned machine-readable
+report; suppression comments flow through to the exit code.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_INTERNAL, main, run
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write(root: Path, relative: str, code: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+CLEAN = """
+def fine():
+    return 1
+"""
+
+DIRTY = """
+import time
+
+def diffuse():
+    return time.time()
+"""
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write(tmp_path, "core/mod.py", CLEAN)
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+
+    def test_findings_exit_one(self, tmp_path):
+        write(tmp_path, "core/mod.py", DIRTY)
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+
+    def test_missing_path_exits_two(self, tmp_path):
+        stderr = io.StringIO()
+        code = run([str(tmp_path / "missing")], stderr=stderr)
+        assert code == EXIT_INTERNAL
+        assert "does not exist" in stderr.getvalue()
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        write(tmp_path, "core/mod.py", CLEAN)
+        stderr = io.StringIO()
+        code = run([str(tmp_path)], select="no-such-rule", stderr=stderr)
+        assert code == EXIT_INTERNAL
+        assert "unknown rule id" in stderr.getvalue()
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        write(tmp_path, "mod.py", "def broken(:\n")
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+
+
+class TestJsonOutput:
+    def test_schema(self, tmp_path):
+        write(tmp_path, "core/mod.py", DIRTY)
+        stdout = io.StringIO()
+        code = run([str(tmp_path)], as_json=True, stdout=stdout)
+        assert code == EXIT_FINDINGS
+        payload = json.loads(stdout.getvalue())
+        assert payload["version"] == 1
+        assert payload["files"] == 1
+        assert payload["suppressed"] == 0
+        assert set(payload["rules"]) >= {"wall-clock", "resource-lifecycle"}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "message"}
+        assert finding["rule"] == "wall-clock"
+        assert finding["path"].endswith("core/mod.py")
+        assert finding["line"] == 5
+
+    def test_clean_json(self, tmp_path):
+        write(tmp_path, "core/mod.py", CLEAN)
+        stdout = io.StringIO()
+        assert run([str(tmp_path)], as_json=True, stdout=stdout) == EXIT_CLEAN
+        payload = json.loads(stdout.getvalue())
+        assert payload["findings"] == []
+
+
+class TestSuppressions:
+    def test_suppressed_finding_exits_clean_and_is_counted(self, tmp_path):
+        write(
+            tmp_path,
+            "core/mod.py",
+            """
+            import time
+
+            def diffuse():
+                return time.time()  # repro: ignore[wall-clock]
+            """,
+        )
+        stdout = io.StringIO()
+        code = run([str(tmp_path)], as_json=True, stdout=stdout)
+        assert code == EXIT_CLEAN
+        assert json.loads(stdout.getvalue())["suppressed"] == 1
+
+    def test_suppression_for_other_rule_does_not_apply(self, tmp_path):
+        write(
+            tmp_path,
+            "core/mod.py",
+            """
+            import time
+
+            def diffuse():
+                return time.time()  # repro: ignore[global-random]
+            """,
+        )
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+
+
+class TestFrontEnds:
+    def test_list_rules(self):
+        stdout = io.StringIO()
+        assert run([], list_rules=True, stdout=stdout) == EXIT_CLEAN
+        listing = stdout.getvalue()
+        for rule_id in (
+            "knob-threading",
+            "wire-schema",
+            "resource-lifecycle",
+            "unordered-iter",
+            "global-random",
+            "wall-clock",
+            "fast-math",
+            "error-surface",
+        ):
+            assert f"{rule_id}:" in listing
+
+    def test_select_limits_rules(self, tmp_path):
+        write(tmp_path, "core/mod.py", DIRTY)
+        assert main([str(tmp_path), "--select", "global-random"]) == EXIT_CLEAN
+        assert main([str(tmp_path), "--select", "wall-clock"]) == EXIT_FINDINGS
+
+    def test_repro_cli_analyze_subcommand(self, tmp_path, capsys):
+        write(tmp_path, "core/mod.py", DIRTY)
+        code = repro_main(["analyze", str(tmp_path), "--json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "wall-clock"
+
+    def test_python_dash_m_entry_point(self, tmp_path):
+        write(tmp_path, "core/mod.py", CLEAN)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            env={
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+        )
+        assert completed.returncode == EXIT_CLEAN, completed.stderr
+        assert "clean" in completed.stdout
+
+    def test_default_paths_cover_the_installed_package(self):
+        from repro.analysis.cli import default_paths
+
+        (default,) = default_paths()
+        assert Path(default).name == "repro"

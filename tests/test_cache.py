@@ -10,6 +10,8 @@ outcomes exactly and survives the process.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -329,7 +331,7 @@ class TestResultCache:
 
 
 class TestCachingBackend:
-    GRID = {"alpha": (0.05, 0.01), "eps": (1e-4,)}
+    GRID: ClassVar[dict] = {"alpha": (0.05, 0.01), "eps": (1e-4,)}
 
     def _jobs(self, seeds=(0, 100, 200)):
         return list(job_grid(seeds, "pr-nibble", self.GRID))
@@ -367,7 +369,7 @@ class TestCachingBackend:
         engine = BatchEngine(graph, cache=True)
         jobs = [DiffusionJob.make(0), DiffusionJob.make(100)]
         cold = engine.run(jobs, StatsReducer())
-        warm = engine.run(jobs + [DiffusionJob.make(200)], StatsReducer())
+        warm = engine.run([*jobs, DiffusionJob.make(200)], StatsReducer())
         assert cold.cache_hits == 0
         assert cold.total_pushes > 0 and cold.job_seconds > 0
         fresh = engine.run([DiffusionJob.make(200)], StatsReducer())  # all-hit run

@@ -132,6 +132,46 @@ class TestEnsureWarm:
             ensure_warm("fortran")
 
 
+class TestExtraCflags:
+    """The sanitizer hook: extra build flags come from the environment,
+    land in the cache tag, and can never relax IEEE-754 strictness."""
+
+    def test_absent_env_means_no_extra_flags(self, monkeypatch):
+        from repro.kernels import _ckernels
+
+        monkeypatch.delenv(_ckernels.EXTRA_CFLAGS_ENV, raising=False)
+        assert _ckernels._extra_cflags() == []
+
+    def test_flags_are_shlex_split(self, monkeypatch):
+        from repro.kernels import _ckernels
+
+        monkeypatch.setenv(
+            _ckernels.EXTRA_CFLAGS_ENV, "-g -fsanitize=address,undefined"
+        )
+        assert _ckernels._extra_cflags() == ["-g", "-fsanitize=address,undefined"]
+
+    @pytest.mark.parametrize(
+        "flag", ["-ffast-math", "-Ofast", "-ffp-contract=fast"]
+    )
+    def test_fast_math_injection_rejected(self, monkeypatch, flag):
+        """Regression (invariant `fast-math`): the determinism contract is
+        not environment-overridable — a value-changing FP flag raises
+        before any compiler runs."""
+        from repro.kernels import _ckernels
+
+        monkeypatch.setenv(_ckernels.EXTRA_CFLAGS_ENV, f"-g {flag}")
+        with pytest.raises(_ckernels.KernelBuildError, match="bit-identity"):
+            _ckernels._extra_cflags()
+
+    def test_cflags_keep_the_determinism_pins(self):
+        from repro.kernels import _ckernels
+
+        assert "-ffp-contract=off" in _ckernels.CFLAGS
+        assert "-fno-fast-math" in _ckernels.CFLAGS
+        for flag in _ckernels.CFLAGS:
+            assert flag not in _ckernels._FORBIDDEN_CFLAGS
+
+
 class TestSchedulerScale:
     def test_python_and_none_scale_is_unity(self):
         assert kernel_cost_scale(None) == 1.0

@@ -128,7 +128,7 @@ class TestChunkPlans:
         ]
 
     def test_cost_chunks_dispatch_heaviest_first(self):
-        jobs = [pr_job(seed=s, eps=eps) for s, eps in enumerate([1e-3] * 10 + [1e-7])]
+        jobs = [pr_job(seed=s, eps=eps) for s, eps in enumerate([*([1e-3] * 10), 1e-7])]
         chunks = plan_chunks(jobs, workers=2, schedule="cost")
         loads = chunk_costs(chunks)
         assert loads == sorted(loads, reverse=True)
@@ -168,7 +168,7 @@ class TestChunkPlans:
         # One job carrying ~97% of the batch: no partition can balance it,
         # so the planner shrinks the chunk count to keep max <= 2x mean
         # (makespan stays within 2x optimal — the lone job dominates).
-        jobs = [pr_job(seed=0, eps=1e-7)] + [pr_job(seed=s, eps=1e-4) for s in range(1, 33)]
+        jobs = [pr_job(seed=0, eps=1e-7), *(pr_job(seed=s, eps=1e-4) for s in range(1, 33))]
         chunks = plan_chunks(jobs, workers=4, schedule="cost")
         loads = chunk_costs(chunks)
         assert max(loads) <= 2.0 * (sum(loads) / len(loads))

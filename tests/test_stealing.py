@@ -107,7 +107,7 @@ class TestStealUnits:
         ]
 
     def test_cost_units_dispatch_heaviest_first(self):
-        jobs = [pr_job(seed=s, eps=eps) for s, eps in enumerate([1e-3] * 10 + [1e-7])]
+        jobs = [pr_job(seed=s, eps=eps) for s, eps in enumerate([*([1e-3] * 10), 1e-7])]
         units = plan_units(jobs, workers=2)
         # Few jobs per worker -> singleton units, in strictly non-increasing
         # cost order, the expensive straggler leading the queue.
