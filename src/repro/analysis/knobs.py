@@ -41,6 +41,12 @@ PARAM_ALIASES = {"backend": ("backend", "engine")}
 #: ``include_vectors`` are per-call API arguments, not serving flags.
 CLI_EXEMPT = frozenset({"backend", "parallel", "include_vectors"})
 
+#: Knobs whose CLI flag is spelled differently from the field name:
+#: ``graph_version`` surfaces as ``--at-version`` (``repro cluster
+#: --at-version K`` reads as "cluster at version K").  Each entry lists
+#: every flag spelling that satisfies the rule.
+CLI_ALIASES = {"graph_version": ("graph_version", "at_version")}
+
 
 def _dataclass_fields(node: ast.ClassDef) -> dict[str, int]:
     """Annotated field names of a dataclass body, with line numbers."""
@@ -200,11 +206,15 @@ class KnobThreadingRule(Rule):
         for field in sorted(fields):
             if field in CLI_EXEMPT:
                 continue
-            if field not in flags:
+            accepted = CLI_ALIASES.get(field, (field,))
+            if not any(name in flags for name in accepted):
+                spellings = " or ".join(
+                    f"--{name.replace('_', '-')}" for name in accepted
+                )
                 yield source.finding(
                     self.id,
                     node.lineno,
-                    f"no --{field.replace('_', '-')} CLI flag for the "
+                    f"no {spellings} CLI flag for the "
                     f"EngineOptions knob {field!r}",
                 )
 

@@ -25,11 +25,15 @@ workloads hit a store instead of re-diffusing:
 """
 
 from .backend import CachingBackend, CachingSession
+from .evolving import MigrationStats, advance_version, delta_region
 from .keys import CacheKey, cache_key_for, canonical_params
 from .serialize import load_outcome, outcome_nbytes, save_outcome
 from .store import CacheStats, DiskStore, LRUStore, ResultCache, resolve_cache
 
 __all__ = [
+    "MigrationStats",
+    "advance_version",
+    "delta_region",
     "CacheKey",
     "cache_key_for",
     "canonical_params",

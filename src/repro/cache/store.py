@@ -115,6 +115,15 @@ class LRUStore:
             self._nbytes -= evicted_size
             self.evictions += 1
 
+    def items(self) -> "list[tuple[CacheKey, JobOutcome]]":
+        """Snapshot of the resident entries, oldest first (no LRU touch).
+
+        The cross-version migration pass (:func:`repro.cache.evolving.
+        advance_version`) scans this to re-key survivors; a list copy keeps
+        the scan safe against concurrent ``put`` calls re-ordering the dict.
+        """
+        return [(key, outcome) for key, (outcome, _) in self._entries.items()]
+
     def clear(self) -> int:
         removed = len(self._entries)
         self._entries.clear()
@@ -275,6 +284,18 @@ class ResultCache:
     def count_coalesced(self) -> None:
         """Record one job served by an identical in-flight job (same batch)."""
         self._coalesced += 1
+
+    def memory_items(self) -> "list[tuple[CacheKey, JobOutcome]]":
+        """Snapshot of the in-memory layer's entries (for version migration).
+
+        Disk entries are keyed by one-way digests, so they cannot be
+        enumerated back into :class:`~repro.cache.keys.CacheKey`\\ s; the
+        migration pass therefore re-keys only the hot layer.  Disk entries
+        stay correct regardless — their keys embed the fingerprint of the
+        version they were computed on, so they can never serve a different
+        version's query — they just aren't carried forward.
+        """
+        return self.memory.items()
 
     def clear(self) -> int:
         removed = self.memory.clear()

@@ -6,6 +6,10 @@ Commands
     List the Table-2 proxy registry (paper sizes vs proxy sizes).
 ``generate``
     Build a graph (proxy or named generator) and write it to disk.
+``update``
+    Apply batched edge insertions/deletions to a graph (the evolving
+    plane, :mod:`repro.graph.evolving`) and write the resulting version;
+    prints each version's content fingerprint and touched-vertex count.
 ``cluster``
     Run one local clustering query — the paper's interactive use case —
     against a proxy or a graph file, printing the cluster and, optionally,
@@ -49,6 +53,12 @@ lazily as diffusions cross boundaries) plus ``--max-resident-shards``
 (bound resident graph memory), ``--spill-shards`` (whole-graph fallback
 threshold) and ``--halo-bytes`` (budget of the boundary-row cache that
 serves hot cross-shard reads without attaching the neighbour shard).
+
+``cluster`` and ``serve`` accept ``--updates FILE`` (replay an
+edge-update file into a version chain before running) and
+``--at-version K`` (select which version to run against); ``serve``
+additionally honours a per-request ``"graph_version"`` wire field, so
+clients can keep querying a superseded version.
 
 ``cluster``, ``ncp``, ``batch`` and ``serve`` accept ``--kernel``
 (``auto``/``python``/``numba``/``c``): the loop implementation for the
@@ -132,6 +142,48 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .graph import EvolvingGraph
+
+    graph = _load_graph(args.graph)
+    batches = _load_update_batches(args.updates) if args.updates else []
+    loose_inserts = [tuple(edge) for edge in (args.insert or [])]
+    loose_deletes = [tuple(edge) for edge in (args.delete or [])]
+    if loose_inserts or loose_deletes:
+        batches.append((loose_inserts, loose_deletes))
+    if not batches:
+        raise SystemExit(
+            "error: nothing to apply; pass --insert/--delete or --updates FILE"
+        )
+    chain = (
+        EvolvingGraph(graph)
+        if args.rebuild_threshold is None
+        else EvolvingGraph(graph, rebuild_threshold=args.rebuild_threshold)
+    )
+    print(f"version 0: fingerprint {chain.at(0).fingerprint()[:12]} ({graph!r})")
+    for inserts, deletes in batches:
+        try:
+            version = chain.apply_updates(insertions=inserts, deletions=deletes)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+        materialized = "rebuild" if version.rebuilt else "delta-splice"
+        print(
+            f"version {version.version}: fingerprint {version.fingerprint()[:12]} "
+            f"+{len(inserts)}/-{len(deletes)} requested, "
+            f"{len(version.touched)} vertices touched ({materialized})"
+        )
+    final = chain.latest.graph
+    out = Path(args.output)
+    if out.suffix == ".npz":
+        save_npz(final, out)
+    elif out.suffix == ".adj":
+        write_adjacency_graph(final, out)
+    else:
+        write_edge_list(final, out)
+    print(f"wrote {final!r} to {out}")
+    return 0
+
+
 def _parse_scalar(raw: str) -> object:
     """int, else float, else the raw string — the --param value grammar."""
     try:
@@ -153,8 +205,73 @@ def _parse_params(pairs: list[str], flag: str = "--param") -> dict[str, object]:
     return overrides
 
 
+def _load_update_batches(path: str) -> list[tuple[list[tuple[int, int]], list[tuple[int, int]]]]:
+    """Parse an edge-update file into ``(insertions, deletions)`` batches.
+
+    One update per line: ``+ u v`` inserts the undirected edge ``{u, v}``,
+    ``- u v`` deletes it.  A line holding only ``--`` closes the current
+    batch (each batch becomes one graph version); blank lines and ``#``
+    comments are ignored.
+    """
+    batches: list[tuple[list[tuple[int, int]], list[tuple[int, int]]]] = []
+    inserts: list[tuple[int, int]] = []
+    deletes: list[tuple[int, int]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "--":
+            if inserts or deletes:
+                batches.append((inserts, deletes))
+                inserts, deletes = [], []
+            continue
+        parts = line.split()
+        if len(parts) != 3 or parts[0] not in "+-":
+            raise SystemExit(
+                f"error: {path}:{lineno}: expected '+ u v', '- u v' or '--', "
+                f"got {raw!r}"
+            )
+        try:
+            edge = (int(parts[1]), int(parts[2]))
+        except ValueError:
+            raise SystemExit(
+                f"error: {path}:{lineno}: vertex ids must be integers, got {raw!r}"
+            ) from None
+        (inserts if parts[0] == "+" else deletes).append(edge)
+    if inserts or deletes:
+        batches.append((inserts, deletes))
+    return batches
+
+
+def _evolving_from_args(graph, args: argparse.Namespace):
+    """Lift a loaded graph into the version chain --updates/--at-version ask
+    for; returns the graph unchanged when neither flag is set."""
+    from .graph import EvolvingGraph
+
+    if args.updates is None and args.at_version is None:
+        return graph
+    chain = EvolvingGraph(graph)
+    if args.updates is not None:
+        for inserts, deletes in _load_update_batches(args.updates):
+            chain.apply_updates(insertions=inserts, deletions=deletes)
+    if args.at_version is not None and args.at_version >= len(chain):
+        raise SystemExit(
+            f"error: --at-version {args.at_version} does not exist "
+            f"(the chain has versions 0..{len(chain) - 1})"
+        )
+    return chain
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
+    loaded = _evolving_from_args(graph, args)
+    if loaded is not graph:
+        version = loaded.at(args.at_version)
+        print(
+            f"version {version.version}/{len(loaded) - 1}: "
+            f"fingerprint {version.fingerprint()[:12]}"
+        )
+        graph = version.graph
     overrides = _parse_params(args.param)
     seed = args.seed if args.seed is not None else int(np.argmax(graph.degrees()))
 
@@ -355,6 +472,7 @@ def _serve_options(args: argparse.Namespace, cache) -> "object":
             include_vectors=False,
             cache=cache,
             kernel=args.kernel,
+            graph_version=args.at_version,
         )
     return EngineOptions(
         workers=workers if workers > 1 else None,
@@ -363,6 +481,7 @@ def _serve_options(args: argparse.Namespace, cache) -> "object":
         start_method=args.start_method,
         schedule=args.schedule,
         kernel=args.kernel,
+        graph_version=args.at_version,
     )
 
 
@@ -383,7 +502,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DiffusionService
     from .serve.protocol import error_reply, outcome_reply, parse_request_line
 
-    graph = _load_graph(args.graph)
+    graph = _evolving_from_args(_load_graph(args.graph), args)
     cache = _cache_from_args(args)
     workers = max(1, args.workers)
     _check_shard_flags(args)
@@ -411,7 +530,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request = parse_request_line(text, default_method=args.method)
             if request.id is not None:
                 request_id = request.id
-            future = service.submit(request.job(), priority=request.priority)
+            future = service.submit(
+                request.job(),
+                priority=request.priority,
+                graph_version=request.graph_version,
+            )
         except Exception as error:
             # A malformed line answers with a structured error object
             # (RequestError carries the offending field); the service —
@@ -579,6 +702,44 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(run=_cmd_generate)
 
+    update = commands.add_parser(
+        "update",
+        help="apply batched edge updates to a graph and write the result",
+    )
+    update.add_argument("graph", help="proxy name or graph file")
+    update.add_argument("output", help="output path (.npz, .adj, or edge list)")
+    update.add_argument(
+        "--insert",
+        nargs=2,
+        type=int,
+        action="append",
+        metavar=("U", "V"),
+        help="insert the undirected edge {U, V} (repeatable)",
+    )
+    update.add_argument(
+        "--delete",
+        nargs=2,
+        type=int,
+        action="append",
+        metavar=("U", "V"),
+        help="delete the undirected edge {U, V} (repeatable)",
+    )
+    update.add_argument(
+        "--updates",
+        default=None,
+        metavar="FILE",
+        help="edge-update file: '+ u v' / '- u v' lines; a line holding "
+        "'--' closes a batch (each batch becomes one version)",
+    )
+    update.add_argument(
+        "--rebuild-threshold",
+        type=float,
+        default=None,
+        help="delta fraction of the edge count above which a version is "
+        "rebuilt from edge arrays instead of spliced (default 0.25)",
+    )
+    update.set_defaults(run=_cmd_update)
+
     cluster = commands.add_parser("cluster", help="run one local clustering query")
     cluster.add_argument("graph", help="proxy name or graph file")
     cluster.add_argument("--method", choices=sorted(ALGORITHMS), default="pr-nibble")
@@ -598,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the work-depth profile and simulated paper-machine times",
     )
     _add_kernel_flag(cluster)
+    _add_version_flags(cluster)
     cluster.set_defaults(run=_cmd_cluster)
 
     ncp = commands.add_parser("ncp", help="generate a network community profile CSV")
@@ -745,6 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_flags(serve)
     _add_kernel_flag(serve)
     _add_cache_flags(serve)
+    _add_version_flags(serve)
     serve.set_defaults(run=_cmd_serve)
 
     kernels = commands.add_parser(
@@ -820,6 +983,27 @@ def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
         help="loop implementation for the hot diffusion paths (auto, python, "
         "numba, c).  Results are bit-identical across kernels; 'auto' picks "
         "the fastest available and falls back to python (default: python)",
+    )
+
+
+def _add_version_flags(parser: argparse.ArgumentParser) -> None:
+    """The evolving-graph flags (``cluster`` and ``serve``): build a
+    version chain from an update file and select which version to run."""
+    parser.add_argument(
+        "--updates",
+        default=None,
+        metavar="FILE",
+        help="edge-update file applied to the loaded graph before running: "
+        "'+ u v' / '- u v' lines, '--' separates version batches "
+        "(see `repro update`)",
+    )
+    parser.add_argument(
+        "--at-version",
+        type=int,
+        default=None,
+        dest="at_version",
+        help="run against this version of the update chain "
+        "(default: the latest; version 0 is the loaded graph)",
     )
 
 

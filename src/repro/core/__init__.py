@@ -19,7 +19,14 @@ from .options import (
     canonical_params,
     validate_params,
 )
-from .pr_nibble import PRNibbleParams, pr_nibble, pr_nibble_parallel, pr_nibble_sequential
+from .pr_nibble import (
+    PRNibbleParams,
+    pr_nibble,
+    pr_nibble_parallel,
+    pr_nibble_residual,
+    pr_nibble_sequential,
+    pr_nibble_update,
+)
 from .quality import ClusterStats, boundary_size, cluster_stats, conductance, volume
 from .rand_hk_pr import (
     RandHKPRParams,
@@ -64,7 +71,9 @@ __all__ = [
     "PRNibbleParams",
     "pr_nibble",
     "pr_nibble_parallel",
+    "pr_nibble_residual",
     "pr_nibble_sequential",
+    "pr_nibble_update",
     "ClusterStats",
     "boundary_size",
     "cluster_stats",

@@ -165,6 +165,22 @@ def canonical_params(method: str, params: Mapping[str, Any]) -> tuple[tuple[str,
     return tuple(sorted((name, _canonical_value(value)) for name, value in filled.items()))
 
 
+def _check_graph_version(version: Any) -> None:
+    """Structural check shared by the request and options validators."""
+    if version is None:
+        return
+    if isinstance(version, bool) or not isinstance(version, numbers.Integral):
+        raise RequestError(
+            "graph_version",
+            f"graph_version must be a non-negative integer, got {version!r}",
+        )
+    if version < 0:
+        raise RequestError(
+            "graph_version",
+            f"graph_version must be a non-negative integer, got {version!r}",
+        )
+
+
 def _check_seeds(seeds: Any) -> tuple[int, ...]:
     if isinstance(seeds, (bool, str)):
         raise RequestError("seeds", "seeds must be a vertex id or a list of vertex ids")
@@ -206,6 +222,10 @@ class ClusterRequest:
     kernel:
         Loop implementation (:mod:`repro.kernels`), or ``None`` for the
         engine default.  Never changes results, only speed.
+    graph_version:
+        Which version of an evolving graph (:mod:`repro.graph.evolving`)
+        to solve on; ``None`` means the current version.  Services built
+        over a frozen graph reject any explicit value.
     include_cluster:
         Ask the transport to include the cluster's member vertices in
         the reply (off by default: replies stay small).
@@ -223,6 +243,7 @@ class ClusterRequest:
     rng: int = 0
     priority: str = "interactive"
     kernel: str | None = None
+    graph_version: int | None = None
     include_cluster: bool = False
     id: Any = None
 
@@ -234,6 +255,7 @@ class ClusterRequest:
         rng: int = 0,
         priority: str = "interactive",
         kernel: str | None = None,
+        graph_version: int | None = None,
         include_cluster: bool = False,
         id: Any = None,
     ) -> "ClusterRequest":
@@ -245,6 +267,7 @@ class ClusterRequest:
             rng=int(rng),
             priority=priority,
             kernel=kernel,
+            graph_version=graph_version,
             include_cluster=include_cluster,
             id=id,
         )
@@ -300,6 +323,7 @@ class ClusterRequest:
                 resolve_kernel(self.kernel)
             except (ValueError, KernelUnavailableError) as error:
                 raise RequestError("kernel", str(error)) from None
+        _check_graph_version(self.graph_version)
         if num_vertices is not None:
             for seed in self.seeds:
                 if not 0 <= seed < num_vertices:
@@ -324,6 +348,8 @@ class ClusterRequest:
         }
         if self.kernel is not None:
             payload["kernel"] = self.kernel
+        if self.graph_version is not None:
+            payload["graph_version"] = self.graph_version
         if self.include_cluster:
             payload["include_cluster"] = True
         if self.id is not None:
@@ -350,8 +376,11 @@ class ClusterRequest:
             raise RequestError(
                 "v", f"unsupported wire version {version!r}; this server speaks v1"
             )
+        # "graph_version" is the lenient v1 extension for evolving graphs:
+        # optional on the wire (absent means "current version"), so v1
+        # clients that never send it keep working unchanged.
         known = ("v", "id", "seeds", "method", "params", "rng", "priority",
-                 "kernel", "include_cluster")
+                 "kernel", "graph_version", "include_cluster")
         if version is not None:
             for name in payload:
                 if name not in known:
@@ -384,6 +413,8 @@ class ClusterRequest:
         kernel = payload.get("kernel")
         if kernel is not None and not isinstance(kernel, str):
             raise RequestError("kernel", f"kernel must be a string, got {kernel!r}")
+        graph_version = payload.get("graph_version")
+        _check_graph_version(graph_version)
         include_cluster = payload.get("include_cluster", False)
         if not isinstance(include_cluster, bool):
             raise RequestError(
@@ -397,6 +428,7 @@ class ClusterRequest:
             rng=int(rng),
             priority=priority,
             kernel=kernel,
+            graph_version=None if graph_version is None else int(graph_version),
             include_cluster=include_cluster,
             id=payload.get("id"),
         )
@@ -411,12 +443,18 @@ class ClusterRequest:
             and self.rng == other.rng
             and self.priority == other.priority
             and self.kernel == other.kernel
+            and self.graph_version == other.graph_version
             and self.include_cluster == other.include_cluster
             and self.id == other.id
         )
 
     def canonical(self) -> tuple:
-        """A hashable canonical identity (seeds sorted, params filled)."""
+        """A hashable canonical identity (seeds sorted, params filled).
+
+        ``graph_version`` is deliberately excluded (like ``kernel``): it
+        is resolved to a concrete graph — whose content fingerprint is the
+        cache's graph identity — before any result is keyed.
+        """
         return (
             tuple(sorted(set(self.seeds))),
             self.method,
@@ -440,6 +478,7 @@ _ENGINE_KNOBS = (
     "spill_shards",
     "halo_bytes",
     "kernel",
+    "graph_version",
 )
 
 
@@ -471,6 +510,7 @@ class EngineOptions:
     spill_shards: int | None = None
     halo_bytes: int | None = None
     kernel: str | None = None
+    graph_version: int | None = None
 
     def resolved_backend(self) -> str:
         """The backend name after the historical inference: ``"sharded"``
@@ -528,6 +568,7 @@ class EngineOptions:
             from ..kernels import resolve_kernel
 
             resolve_kernel(self.kernel)  # unknown -> ValueError, unavailable raises
+        _check_graph_version(self.graph_version)
         return self
 
     def reject_loose(self, context: str, **loose: Any) -> None:

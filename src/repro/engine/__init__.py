@@ -39,6 +39,7 @@ from .executor import (
     PoolSession,
     ProcessPoolBackend,
     SerialBackend,
+    VersionGuardSession,
     WorkerStats,
     resolve_engine,
     run_job,
@@ -75,6 +76,7 @@ __all__ = [
     "PoolSession",
     "ProcessPoolBackend",
     "SerialBackend",
+    "VersionGuardSession",
     "resolve_engine",
     "run_job",
     "DiffusionJob",

@@ -82,6 +82,7 @@ from .scheduler import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import CachingBackend, ResultCache
     from ..core.options import EngineOptions
+    from ..graph.evolving import EvolvingGraph, GraphVersion
     from ..graph.shared import SharedCSR
 
 __all__ = [
@@ -89,6 +90,7 @@ __all__ = [
     "run_job",
     "ExecutionSession",
     "KernelSession",
+    "VersionGuardSession",
     "PoolSession",
     "PoolBackend",
     "SerialBackend",
@@ -736,6 +738,44 @@ class KernelSession:
         return getattr(self._session, name)
 
 
+class VersionGuardSession:
+    """Refuse batches once a *tracking* engine's evolving graph advances.
+
+    Sessions pin real resources to one edge set — a shared-memory export,
+    a sharded partition (:class:`~repro.engine.router.RouterSession`) —
+    so after ``apply_updates`` a session opened by a tracking engine would
+    silently keep answering against the superseded version.  This wrapper
+    re-checks freshness at every ``run``; pinned engines
+    (``graph_version=<int>``) never carry it, since answering against the
+    pinned version is exactly what they promise.
+    """
+
+    def __init__(self, session: ExecutionSession, engine: "BatchEngine") -> None:
+        self._session = session
+        self._engine = engine
+
+    def run(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
+        sharded = getattr(self._session, "sharded", None)
+        self._engine._check_fresh(
+            handle_fingerprint=(
+                sharded.handle().fingerprint if sharded is not None else None
+            )
+        )
+        return self._session.run(jobs)
+
+    def close(self) -> None:
+        self._session.close()
+
+    def __enter__(self) -> "VersionGuardSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._session, name)
+
+
 def _apply_kernel(
     jobs: Iterable[DiffusionJob], kernel: str | None
 ) -> list[DiffusionJob]:
@@ -754,7 +794,10 @@ class BatchEngine:
     Parameters
     ----------
     graph:
-        The (read-only) graph every job runs against.
+        The (read-only) graph every job runs against — a plain
+        :class:`~repro.graph.csr.CSRGraph`, or an
+        :class:`~repro.graph.evolving.EvolvingGraph` version chain (see
+        ``graph_version`` below for which version is executed).
     backend:
         ``"serial"``, ``"process"``, ``"sharded"``, a backend instance,
         or ``None`` to pick ``"sharded"`` when ``shards`` is given,
@@ -819,6 +862,19 @@ class BatchEngine:
         unavailable explicit request fails at construction, not in a
         worker.  Outcomes are bit-identical across kernels, and the
         kernel is excluded from cache keys.
+    graph_version:
+        Which version of an :class:`~repro.graph.evolving.EvolvingGraph`
+        to execute against (requires ``graph`` to be one).  An integer
+        **pins** the engine: it answers against that exact version
+        forever, even after the chain advances — correct by construction,
+        since cache keys embed the version's fingerprint.  ``None``
+        (default) **tracks**: the engine binds to the latest version at
+        construction and every subsequent dispatch re-checks the chain —
+        if it has advanced, the dispatch raises a
+        :class:`~repro.core.options.RequestError` (code 409) naming both
+        versions instead of silently answering against stale edges.
+        Recover with :meth:`at_version` (shares this engine's backend and
+        cache).
     options:
         The same knob surface as one frozen, pre-validated record
         (:class:`repro.core.options.EngineOptions`) — the canonical
@@ -835,7 +891,7 @@ class BatchEngine:
 
     def __init__(
         self,
-        graph: CSRGraph,
+        graph: "CSRGraph | EvolvingGraph",
         backend: "str | PoolBackend | CachingBackend | None" = None,
         workers: int | None = None,
         parallel: bool | None = None,
@@ -848,9 +904,11 @@ class BatchEngine:
         spill_shards: int | None = None,
         halo_bytes: int | None = None,
         kernel: str | None = None,
+        graph_version: int | None = None,
         options: "EngineOptions | None" = None,
     ) -> None:
         from ..cache import CachingBackend, resolve_cache
+        from ..graph.evolving import EvolvingGraph
 
         if options is not None:
             options.reject_loose(
@@ -867,6 +925,7 @@ class BatchEngine:
                 spill_shards=spill_shards,
                 halo_bytes=halo_bytes,
                 kernel=kernel,
+                graph_version=graph_version,
             )
             options.validate()
             backend = options.backend
@@ -881,7 +940,22 @@ class BatchEngine:
             spill_shards = options.spill_shards
             halo_bytes = options.halo_bytes
             kernel = options.kernel
-        self.graph = graph
+            graph_version = options.graph_version
+        if isinstance(graph, EvolvingGraph):
+            self.evolving: "EvolvingGraph | None" = graph
+            self.graph_version = None if graph_version is None else int(graph_version)
+            self.version: "GraphVersion | None" = graph.at(self.graph_version)
+            self.graph = self.version.graph
+        else:
+            if graph_version is not None:
+                raise ValueError(
+                    "graph_version= selects a version of an EvolvingGraph; "
+                    "this engine was given a plain CSRGraph"
+                )
+            self.evolving = None
+            self.graph_version = None
+            self.version = None
+            self.graph = graph
         # None is the "engine default" sentinel (it lets the options path
         # detect explicitly-set loose kwargs); the defaults stay True.
         self.parallel = True if parallel is None else parallel
@@ -995,6 +1069,69 @@ class BatchEngine:
         backends that do not own one (serial, sharded)."""
         return getattr(self._inner_backend, "cost_model", None)
 
+    def _check_fresh(self, handle_fingerprint: str | None = None) -> None:
+        """Raise when a *tracking* engine's evolving graph has advanced.
+
+        Pinned engines (explicit ``graph_version=``) and plain-graph
+        engines never raise.  The error is a
+        :class:`~repro.core.options.RequestError` with code 409
+        ("conflict": the request was well-formed but the bound state
+        moved) naming both versions — and, for sharded execution, the
+        fingerprint stamped on the stale
+        :class:`~repro.graph.sharded.ShardedCSRHandle` — so callers can
+        tell *which* superseded edge set they were about to read.
+        """
+        if self.evolving is None or self.graph_version is not None:
+            return
+        assert self.version is not None
+        latest = self.evolving.latest
+        if latest.version == self.version.version:
+            return
+        from ..core.options import RequestError
+
+        detail = (
+            f"engine tracks the evolving graph but is bound to version "
+            f"{self.version.version} (fingerprint {self.version.fingerprint()[:12]}); "
+            f"the chain has advanced to version {latest.version} "
+            f"(fingerprint {latest.fingerprint()[:12]})"
+        )
+        if handle_fingerprint is not None:
+            detail += (
+                f"; the sharded export's handle is stamped {handle_fingerprint[:12]}"
+            )
+        raise RequestError(
+            "graph_version",
+            detail
+            + ". Rebuild with engine.at_version(...) or pin graph_version= "
+            "to keep answering against the old edges.",
+            code=409,
+        )
+
+    def at_version(self, version: int | None = None) -> "BatchEngine":
+        """A sibling engine pinned to ``version`` of the same evolving graph.
+
+        The sibling *shares this engine's backend instance* — and
+        therefore its cache, cost model and dispatch accounting — so
+        switching versions costs one constructor call, not a pool
+        restart.  ``version=None`` pins to the chain's current latest.
+        This is how the serving plane follows updates: one engine per
+        admitted version, all over one backend.
+        """
+        if self.evolving is None:
+            raise ValueError(
+                "at_version() requires an engine built on an EvolvingGraph"
+            )
+        if version is None:
+            version = self.evolving.latest.version
+        return BatchEngine(
+            self.evolving,
+            backend=self.backend,
+            parallel=self.parallel,
+            include_vectors=self.include_vectors,
+            kernel=self.kernel,
+            graph_version=version,
+        )
+
     def open_session(self) -> ExecutionSession:
         """A session serving *consecutive batches* on one prepared backend.
 
@@ -1004,17 +1141,23 @@ class BatchEngine:
         (:class:`repro.serve.DiffusionService`) multiplexes clients onto.
         Close the session (it is a context manager) to tear the pool down.
         An engine-level ``kernel=`` default is applied by a transparent
-        :class:`KernelSession` wrapper.
+        :class:`KernelSession` wrapper; a tracking evolving engine adds a
+        :class:`VersionGuardSession` so a session outliving an
+        ``apply_updates`` refuses to answer against the superseded edges.
         """
-        session = self.backend.open_session(
+        self._check_fresh()
+        session: Any = self.backend.open_session(
             self.graph, self.parallel, self.include_vectors
         )
-        if self.kernel is None:
-            return session
-        return KernelSession(session, self.kernel)  # type: ignore[return-value]
+        if self.kernel is not None:
+            session = KernelSession(session, self.kernel)
+        if self.evolving is not None and self.graph_version is None:
+            session = VersionGuardSession(session, self)
+        return session  # type: ignore[return-value]
 
     def map(self, jobs: Iterable[DiffusionJob]) -> Iterator[JobOutcome]:
         """Stream outcomes in job order (lazy; see :meth:`run` to reduce)."""
+        self._check_fresh()
         return self.backend.stream(
             self.graph, _apply_kernel(jobs, self.kernel), self.parallel, self.include_vectors
         )
@@ -1056,7 +1199,7 @@ class BatchEngine:
 
 
 def resolve_engine(
-    graph: CSRGraph,
+    graph: "CSRGraph | EvolvingGraph",
     engine: BatchEngine | str | None = None,
     workers: int | None = None,
     parallel: bool | None = None,
@@ -1069,6 +1212,7 @@ def resolve_engine(
     spill_shards: int | None = None,
     halo_bytes: int | None = None,
     kernel: str | None = None,
+    graph_version: int | None = None,
     options: "EngineOptions | None" = None,
 ) -> BatchEngine:
     """Normalise the ``engine=`` argument accepted by the high-level APIs.
@@ -1089,8 +1233,16 @@ def resolve_engine(
     record (mutually exclusive with the loose kwargs *and* with a
     prebuilt engine, for the same no-silently-ignored-knob reason).
     """
+    from ..graph.evolving import EvolvingGraph
+
     if isinstance(engine, BatchEngine):
-        if engine.graph is not graph and engine.graph.fingerprint() != graph.fingerprint():
+        if isinstance(graph, EvolvingGraph):
+            # Version chains are mutable containers, so identity is the
+            # only safe match — two chains with equal snapshots diverge
+            # the moment either applies an update.
+            if engine.evolving is not graph:
+                raise ValueError("engine was built for a different graph")
+        elif engine.graph is not graph and engine.graph.fingerprint() != graph.fingerprint():
             raise ValueError("engine was built for a different graph")
         ignored = [
             name
@@ -1104,6 +1256,7 @@ def resolve_engine(
                 ("spill_shards", spill_shards),
                 ("halo_bytes", halo_bytes),
                 ("kernel", kernel),
+                ("graph_version", graph_version),
                 ("options", options),
             )
             if value is not None and value is not False
@@ -1128,5 +1281,6 @@ def resolve_engine(
         spill_shards=spill_shards,
         halo_bytes=halo_bytes,
         kernel=kernel,
+        graph_version=graph_version,
         options=options,
     )

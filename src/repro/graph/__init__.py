@@ -14,6 +14,12 @@ from .components import (
     largest_component_vertices,
 )
 from .csr import CSRGraph
+from .evolving import (
+    EvolvingGraph,
+    GraphVersion,
+    apply_updates,
+    normalize_update_edges,
+)
 from .generators import (
     barbell_graph,
     citation_graph,
@@ -50,6 +56,10 @@ from .sharded import (
 
 __all__ = [
     "CSRGraph",
+    "EvolvingGraph",
+    "GraphVersion",
+    "apply_updates",
+    "normalize_update_edges",
     "edge_arrays_of",
     "from_adjacency",
     "from_edge_arrays",

@@ -448,7 +448,9 @@ class DiffusionServer:
         request = entry.request
         try:
             service_future = self.service.submit(
-                request.job(), priority=request.priority
+                request.job(),
+                priority=request.priority,
+                graph_version=request.graph_version,
             )
         except Exception as error:  # service closing under us
             if not entry.outcome.done():

@@ -35,6 +35,17 @@ same batch's bulk tail is still running.  Cancelled futures are skipped at
 drain time (queued) or dropped at resolution time (in flight) — either
 way the drain loop keeps going.
 
+A service built on an :class:`~repro.graph.evolving.EvolvingGraph` also
+serves **versions**.  Every submission is stamped with a graph version at
+admission (an explicit ``graph_version=``, else the chain's current
+latest); batches are homogeneous in version, oldest queued version first,
+and each version executes through its own pinned engine sharing the one
+backend and result cache.  ``await service.update(...)`` appends a new
+version between batches — in-flight and already-admitted queries still
+answer against the version they were admitted under, and the cross-version
+cache migration (:func:`repro.cache.advance_version`) carries unaffected
+entries forward so the new version starts warm.
+
 >>> import asyncio
 >>> from repro.graph import barbell_graph
 >>> from repro.serve import DiffusionService
@@ -54,17 +65,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
-from ..core.options import PRIORITIES, ClusterRequest
+from ..core.options import PRIORITIES, ClusterRequest, RequestError
 from ..engine.executor import BatchEngine, ExecutionSession, JobOutcome, resolve_engine
 from ..engine.jobs import DiffusionJob
 from ..engine.scheduler import estimate_cost, observe_outcome
 from ..runtime.cost_model import CostModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..cache import ResultCache
+    from ..cache import MigrationStats, ResultCache
     from ..core.options import EngineOptions
     from ..core.result import ClusterResult
     from ..graph.csr import CSRGraph
+    from ..graph.evolving import EvolvingGraph, GraphVersion
 
 __all__ = ["DiffusionService", "ServiceStats", "ServiceClosed", "PRIORITIES"]
 
@@ -90,6 +102,7 @@ class ServiceStats:
     failed: int = 0
     cancelled: int = 0
     batches: int = 0
+    updates: int = 0
     cache_hits: int = 0
     steals: int = 0
     busy_seconds: float = 0.0
@@ -106,6 +119,7 @@ class ServiceStats:
             f"submitted={self.submitted} ({per_priority}) "
             f"completed={self.completed} failed={self.failed} "
             f"cancelled={self.cancelled} batches={self.batches} "
+            f"updates={self.updates} "
             f"cache_hits={self.cache_hits} steals={self.steals} "
             f"busy={self.busy_seconds:.3f}s idle={self.idle_seconds:.3f}s"
         )
@@ -113,12 +127,19 @@ class ServiceStats:
 
 @dataclass
 class _Ticket:
-    """One queued submission: the job, its future, and drain metadata."""
+    """One queued submission: the job, its future, and drain metadata.
+
+    ``version`` is the graph version the job was *admitted* against
+    (``None`` on a non-evolving service); the reply is computed on
+    exactly that edge set even if the chain advances while the ticket
+    is still queued.
+    """
 
     job: DiffusionJob
     priority: str
     cost: float
     future: "asyncio.Future[JobOutcome]"
+    version: int | None = None
 
 
 class DiffusionService:
@@ -140,6 +161,11 @@ class DiffusionService:
         process serves the graph with only each query's shard(s) resident;
         ``kernel`` sets the default loop implementation
         (:mod:`repro.kernels`) stamped onto jobs that don't choose one.
+    graph_version:
+        With an :class:`~repro.graph.evolving.EvolvingGraph`: serve this
+        version by default instead of following the chain's latest.
+        Requests may still pin any existing version explicitly, and
+        ``update()`` keeps working.
     max_batch:
         Most jobs one micro-batch may carry (default 32).  Smaller batches
         mean lower interactive latency under bulk load, at some dispatch
@@ -161,9 +187,15 @@ class DiffusionService:
     — it pre-warms the pool on entry and drains + closes on exit.
     """
 
+    #: prepared execution sessions kept open at once on an evolving
+    #: service: the version currently draining plus one straggler.  A
+    #: session pins real resources (a pool, shared-memory exports), so
+    #: older versions close and reopen on demand instead of accumulating.
+    _MAX_OPEN_SESSIONS = 2
+
     def __init__(
         self,
-        graph: "CSRGraph",
+        graph: "CSRGraph | EvolvingGraph",
         engine: "BatchEngine | str | None" = None,
         *,
         workers: int | None = None,
@@ -177,6 +209,7 @@ class DiffusionService:
         spill_shards: int | None = None,
         halo_bytes: int | None = None,
         kernel: str | None = None,
+        graph_version: int | None = None,
         options: "EngineOptions | None" = None,
         max_batch: int = 32,
         max_linger: float = 0.002,
@@ -202,12 +235,16 @@ class DiffusionService:
             spill_shards=spill_shards,
             halo_bytes=halo_bytes,
             kernel=kernel,
+            graph_version=graph_version,
             options=options,
         )
         self.max_batch = max_batch
         self.max_linger = max_linger
         self.max_batch_cost = max_batch_cost
         self.stats = ServiceStats()
+        #: the version chain being served, or ``None`` for a static graph.
+        self.evolving: "EvolvingGraph | None" = self.engine.evolving
+        self._engines: dict[int, BatchEngine] = {}
         # Admission costs calibrate online.  A pool backend owns a model
         # (its session observes every outcome); pool-less backends get a
         # service-owned one fed from _resolve, so `max_batch_cost` tracks
@@ -216,7 +253,9 @@ class DiffusionService:
         self._cost_model = engine_model if engine_model is not None else CostModel()
         self._observe_outcomes = engine_model is None
         self._queues: dict[str, deque[_Ticket]] = {p: deque() for p in PRIORITIES}
-        self._session: ExecutionSession | None = None
+        # Sessions keyed by graph version (a single ``None`` key on a
+        # non-evolving service); bounded by _MAX_OPEN_SESSIONS.
+        self._sessions: "dict[int | None, ExecutionSession]" = {}
         self._executor: ThreadPoolExecutor | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wakeup: asyncio.Event | None = None
@@ -233,8 +272,12 @@ class DiffusionService:
 
     @property
     def session(self) -> ExecutionSession | None:
-        """The long-lived execution session (``None`` before first use)."""
-        return self._session
+        """The most recently opened execution session (``None`` before
+        first use).  An evolving service may hold one per active version;
+        this is the one opened last."""
+        if not self._sessions:
+            return None
+        return next(reversed(list(self._sessions.values())))
 
     async def start(self) -> "DiffusionService":
         """Pre-warm the service: start the drain loop, pool and export now,
@@ -299,33 +342,65 @@ class DiffusionService:
                 "service per loop"
             )
 
-    def _open_session(self) -> ExecutionSession:
-        """Open the one long-lived session (runs in the worker thread)."""
-        if self._session is None:
-            self._session = self.engine.open_session()
-        return self._session
+    def _engine_for(self, version: int | None) -> BatchEngine:
+        """The engine serving ``version`` — the base engine, or a sibling
+        pinned via :meth:`BatchEngine.at_version` (sharing the base
+        engine's backend, cache and calibration)."""
+        if version is None or version == self.engine.graph_version:
+            return self.engine
+        engine = self._engines.get(version)
+        if engine is None:
+            engine = self._engines.setdefault(version, self.engine.at_version(version))
+        return engine
+
+    def _open_session(self, version: int | None = None) -> ExecutionSession:
+        """Open (or reuse) the session for ``version`` — runs in the worker
+        thread.  ``None`` resolves to the service's default version."""
+        if self.evolving is not None and version is None:
+            version = self._admit_version(None)
+        session = self._sessions.get(version)
+        if session is None:
+            session = self._engine_for(version).open_session()
+            self._sessions[version] = session
+            while len(self._sessions) > self._MAX_OPEN_SESSIONS:
+                oldest = min(
+                    key for key in self._sessions if key != version  # type: ignore[type-var]
+                )
+                self._sessions.pop(oldest).close()
+        return session
 
     def _close_session(self) -> None:
-        if self._session is not None:
-            self._session.close()
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(
-        self, job: DiffusionJob, priority: str = "interactive"
+        self,
+        job: DiffusionJob,
+        priority: str = "interactive",
+        graph_version: int | None = None,
     ) -> "asyncio.Future[JobOutcome]":
         """Queue one job; the returned future resolves to its `JobOutcome`.
 
         Invalid submissions (unknown method or priority, bad parameters,
-        out-of-range seeds) raise ``ValueError`` here, synchronously —
+        out-of-range seeds, a ``graph_version`` the chain does not have)
+        raise ``ValueError`` here, synchronously —
         never from inside a worker, where one bad job would poison its
         whole micro-batch.  Cancelling the future withdraws a queued job;
         a job already in flight still runs, but its result is dropped.
+
+        On an evolving service the job is stamped with a version *now* —
+        ``graph_version`` if given, else the service's current default —
+        and is answered against exactly that edge set even if ``update()``
+        advances the chain before the job runs.
         """
         if self._closing or self._closed:
             raise ServiceClosed("service is closed; no further submissions")
         self._validate(job, priority)
+        version = self._admit_version(graph_version)
         self._ensure_running()
         assert self._loop is not None and self._wakeup is not None
         future: "asyncio.Future[JobOutcome]" = self._loop.create_future()
@@ -336,7 +411,9 @@ class DiffusionService:
             if self.max_batch_cost is not None
             else 0.0
         )
-        ticket = _Ticket(job=job, priority=priority, cost=cost, future=future)
+        ticket = _Ticket(
+            job=job, priority=priority, cost=cost, future=future, version=version
+        )
         self._queues[priority].append(ticket)
         self.stats.submitted += 1
         self.stats.by_priority[priority] = self.stats.by_priority.get(priority, 0) + 1
@@ -356,6 +433,7 @@ class DiffusionService:
         rng: int = 0,
         priority: str = "interactive",
         kernel: str | None = None,
+        graph_version: int | None = None,
         **params: Any,
     ) -> "asyncio.Future[JobOutcome]":
         """Convenience: build the job from loose (seeds, method, params).
@@ -363,9 +441,11 @@ class DiffusionService:
         ``kernel=None`` (default) inherits the service's engine default;
         an explicit value overrides it for this query only.  Either way
         the result is bit-identical — the knob only changes speed.
+        ``graph_version`` pins the query to one version of an evolving
+        service's chain (``None`` admits against the current default).
         """
         job = DiffusionJob.make(seeds, method=method, params=params, rng=rng, kernel=kernel)
-        return self.submit(job, priority=priority)
+        return self.submit(job, priority=priority, graph_version=graph_version)
 
     async def cluster(
         self,
@@ -387,6 +467,54 @@ class DiffusionService:
         )
         return outcome.to_cluster_result()
 
+    async def update(
+        self,
+        insertions: Any = (),
+        deletions: Any = (),
+    ) -> "tuple[GraphVersion, MigrationStats | None]":
+        """Apply one batched edge update to the served evolving graph.
+
+        Appends a new version to the chain and migrates the result cache
+        across it (:func:`repro.cache.advance_version` — entries whose
+        recorded profile avoids the delta region are re-keyed to the new
+        fingerprint; ``None`` when the service has no cache).  The call
+        runs on the service's single worker thread, so it is serialized
+        against batch execution: no batch ever observes a half-applied
+        update.  Queries admitted before this call still answer against
+        the version they were admitted under; queries admitted after it
+        default to the new version (unless the service was pinned at
+        construction).  Returns ``(new_version, migration_stats)``.
+        """
+        if self.evolving is None:
+            raise ValueError(
+                "update() requires a service built on an EvolvingGraph"
+            )
+        if self._closing or self._closed:
+            raise ServiceClosed("service is closed; no further updates")
+        self._ensure_running()
+        loop = self._loop
+        assert loop is not None and self._executor is not None
+        return await loop.run_in_executor(
+            self._executor, self._apply_update, insertions, deletions
+        )
+
+    def _apply_update(
+        self, insertions: Any, deletions: Any
+    ) -> "tuple[GraphVersion, MigrationStats | None]":
+        """Worker-thread body of :meth:`update`."""
+        assert self.evolving is not None
+        version = self.evolving.apply_updates(
+            insertions=insertions, deletions=deletions
+        )
+        stats = None
+        cache = self.engine.cache
+        if cache is not None:
+            from ..cache import advance_version
+
+            stats = advance_version(cache, version)
+        self.stats.updates += 1
+        return version, stats
+
     def _validate(self, job: DiffusionJob, priority: str) -> None:
         """One validation path with the wire and the CLI: lift the job into
         a :class:`~repro.core.options.ClusterRequest` and run its semantic
@@ -400,6 +528,33 @@ class DiffusionService:
         ClusterRequest.from_job(job, priority=priority).validate(
             num_vertices=self.engine.graph.num_vertices
         )
+
+    def _admit_version(self, graph_version: int | None) -> int | None:
+        """Resolve the version a submission is admitted against.
+
+        ``None`` on a static service; on an evolving one, the explicit
+        request, else the service's construction-time pin, else the
+        chain's current latest.  A version the chain does not have is a
+        404-coded :class:`~repro.core.options.RequestError` so wire
+        clients get a structured reply rather than a stack trace.
+        """
+        if self.evolving is None:
+            if graph_version is not None:
+                raise RequestError(
+                    "graph_version",
+                    "this service serves a static graph; graph_version "
+                    "requires a service built on an EvolvingGraph",
+                )
+            return None
+        if graph_version is None:
+            if self.engine.graph_version is not None:
+                return self.engine.graph_version
+            return self.evolving.latest.version
+        try:
+            self.evolving.at(int(graph_version))
+        except ValueError as error:
+            raise RequestError("graph_version", str(error), code=404) from None
+        return int(graph_version)
 
     # ------------------------------------------------------------------
     # The drain loop
@@ -454,28 +609,51 @@ class DiffusionService:
             self.stats.idle_seconds = float(summary["idle_seconds"])
         self.stats.cost_calibration = self._cost_model.snapshot()
 
+    def _next_version(self) -> int | None:
+        """The graph version the next batch targets: the *oldest* version
+        still queued, so pinned stragglers drain before the chain's head
+        and cannot be starved by a fast-advancing update stream."""
+        versions = [
+            ticket.version
+            for queue in self._queues.values()
+            for ticket in queue
+            if not ticket.future.done() and ticket.version is not None
+        ]
+        return min(versions) if versions else None
+
     def _next_batch(self) -> list[_Ticket]:
         """Compose the next micro-batch: interactive first, FIFO within
         each class, bounded by ``max_batch`` jobs and (optionally) by the
-        summed scheduler cost estimate."""
+        summed scheduler cost estimate.  Batches are **homogeneous in
+        graph version** (an execution session is bound to one edge set);
+        tickets for other versions are skipped in place and keep their
+        queue order for a later batch."""
         batch: list[_Ticket] = []
         cost = 0.0
+        target = self._next_version()
+        full = False
         for priority in PRIORITIES:
             queue = self._queues[priority]
-            while queue and len(batch) < self.max_batch:
-                if queue[0].future.done():  # cancelled while queued
-                    queue.popleft()
+            kept: list[_Ticket] = []
+            while queue and not full and len(batch) < self.max_batch:
+                ticket = queue.popleft()
+                if ticket.future.done():  # cancelled while queued
                     self.stats.cancelled += 1
+                    continue
+                if ticket.version != target:
+                    kept.append(ticket)
                     continue
                 if (
                     self.max_batch_cost is not None
                     and batch
-                    and cost + queue[0].cost > self.max_batch_cost
+                    and cost + ticket.cost > self.max_batch_cost
                 ):
-                    return batch
-                ticket = queue.popleft()
+                    kept.append(ticket)
+                    full = True
+                    continue
                 batch.append(ticket)
                 cost += ticket.cost
+            queue.extendleft(reversed(kept))
         return batch
 
     def _execute_batch(
@@ -488,7 +666,7 @@ class DiffusionService:
         front of every batch — so an interactive future resolves as soon
         as its own job is done, not when the batch's bulk tail finishes.
         """
-        session = self._open_session()
+        session = self._open_session(batch[0].version)
         for ticket, outcome in zip(batch, session.run(t.job for t in batch)):
             loop.call_soon_threadsafe(self._resolve, ticket, outcome)
 

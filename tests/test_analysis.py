@@ -337,16 +337,21 @@ class TestKnobThreading:
     def add_engine_knob(self, options_path: Path, thread_wire: bool = True) -> None:
         text = options_path.read_text()
         mutated = text.replace(
-            '    kernel: str | None = None\n\n    def resolved_backend',
-            '    kernel: str | None = None\n    new_knob: int | None = None\n'
+            '    graph_version: int | None = None\n\n    def resolved_backend',
+            '    graph_version: int | None = None\n'
+            '    new_knob: int | None = None\n'
             '\n    def resolved_backend',
             1,
         )
         assert mutated != text, "EngineOptions anchor moved; update the test"
         if thread_wire:
-            wired = mutated.replace('"kernel",\n)', '"kernel",\n    "new_knob",\n)', 1)
+            wired = mutated.replace(
+                '"graph_version",\n)', '"graph_version",\n    "new_knob",\n)', 1
+            )
             if wired == mutated:
-                wired = mutated.replace('"kernel")', '"kernel", "new_knob")', 1)
+                wired = mutated.replace(
+                    '"graph_version")', '"graph_version", "new_knob")', 1
+                )
             mutated = wired
         options_path.write_text(mutated)
 
@@ -381,6 +386,60 @@ class TestKnobThreading:
             if finding.rule == "knob-threading"
         ]
         assert any("_ENGINE_KNOBS" in message for message in messages)
+
+    # The graph_version knob rides the same five-layer surface as every
+    # other EngineOptions field; these mutations prove that dropping it
+    # from any single layer is caught by the rule (the gate the evolving
+    # plane relies on — see docs/evolving.md).
+
+    def knob_messages(self, report) -> list[str]:
+        return [
+            finding.message
+            for finding in report.findings
+            if finding.rule == "knob-threading"
+        ]
+
+    def test_graph_version_dropped_from_wire_tuple_flagged(self, tmp_path):
+        copies = copy_real_sources(tmp_path)
+        options = copies["core/options.py"]
+        text = options.read_text()
+        mutated = text.replace(
+            '    "kernel",\n    "graph_version",\n)', '    "kernel",\n)', 1
+        )
+        assert mutated != text, "_ENGINE_KNOBS anchor moved; update the test"
+        options.write_text(mutated)
+        messages = self.knob_messages(analyze([tmp_path]))
+        assert any(
+            "graph_version" in message and "_ENGINE_KNOBS" in message
+            for message in messages
+        ), messages
+
+    def test_graph_version_dropped_from_service_flagged(self, tmp_path):
+        copies = copy_real_sources(tmp_path)
+        service = copies["serve/service.py"]
+        text = service.read_text()
+        mutated = text.replace(
+            "        graph_version: int | None = None,\n", "", 1
+        )
+        assert mutated != text, "DiffusionService anchor moved; update the test"
+        service.write_text(mutated)
+        messages = self.knob_messages(analyze([tmp_path]))
+        assert any(
+            "DiffusionService.__init__" in message and "'graph_version'" in message
+            for message in messages
+        ), messages
+
+    def test_graph_version_cli_flag_removal_flagged(self, tmp_path):
+        copies = copy_real_sources(tmp_path)
+        cli = copies["cli.py"]
+        text = cli.read_text()
+        mutated = text.replace('"--at-version",', '"--was-at-version",', 1)
+        assert mutated != text, "--at-version anchor moved; update the test"
+        cli.write_text(mutated)
+        messages = self.knob_messages(analyze([tmp_path]))
+        assert any(
+            "--graph-version or --at-version" in message for message in messages
+        ), messages
 
 
 class TestWireSchema:

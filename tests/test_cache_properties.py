@@ -108,3 +108,89 @@ def test_fingerprint_sensitive_to_weights_if_present(graph):
     reweighted.weights = np.full(len(graph.neighbors), 2.0)
     assert weighted.fingerprint() != graph.fingerprint()
     assert weighted.fingerprint() != reweighted.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Version identity: the evolving plane's cache reuse rests on the
+# fingerprint depending only on the resulting edge set — never on the
+# update path (batch order, batch grouping, splice vs rebuild) that
+# materialised it.
+
+def update_edges_for(graph, min_size=1):
+    """Update pairs bounded by ``graph``'s vertex set (no self-loops)."""
+    n = graph.num_vertices
+    return st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+            lambda pair: pair[0] != pair[1]
+        ),
+        min_size=min_size,
+        max_size=8,
+        unique_by=lambda pair: tuple(sorted(pair)),
+    )
+
+
+@given(graph=graphs(), data=st.data())
+def test_splice_and_rebuild_share_version_identity(graph, data):
+    from repro.graph import apply_updates
+
+    insertions = data.draw(update_edges_for(graph))
+    spliced = apply_updates(graph, insertions, rebuild_threshold=1.0)
+    rebuilt = apply_updates(graph, insertions, rebuild_threshold=0.0)
+    assert np.array_equal(spliced.graph.offsets, rebuilt.graph.offsets)
+    assert np.array_equal(spliced.graph.neighbors, rebuilt.graph.neighbors)
+    assert spliced.fingerprint() == rebuilt.fingerprint()
+
+
+@given(graph=graphs(), data=st.data())
+def test_batch_grouping_and_order_do_not_change_version_identity(graph, data):
+    from repro.graph import EvolvingGraph
+
+    insertions = data.draw(update_edges_for(graph))
+    one_batch = EvolvingGraph(graph)
+    one_batch.apply_updates(insertions=insertions)
+
+    split = data.draw(st.integers(0, len(insertions)))
+    reordered = data.draw(st.permutations(insertions))
+    two_batches = EvolvingGraph(graph)
+    if reordered[:split]:
+        two_batches.apply_updates(insertions=reordered[:split])
+    if reordered[split:]:
+        two_batches.apply_updates(insertions=reordered[split:])
+
+    assert (
+        one_batch.latest.fingerprint() == two_batches.latest.fingerprint()
+    ), "same edge set, different update path: version identity must agree"
+
+
+@given(graph=graphs(min_edges=3))
+def test_delete_then_reinsert_restores_version_identity(graph):
+    from repro.graph import EvolvingGraph
+    from repro.graph.builder import edge_arrays_of as arrays_of
+
+    sources, targets = arrays_of(graph)
+    edge = (int(sources[0]), int(targets[0]))
+    chain = EvolvingGraph(graph)
+    chain.apply_updates(deletions=[edge])
+    chain.apply_updates(insertions=[edge])
+    assert chain.latest.fingerprint() == chain.at(0).fingerprint()
+    assert chain.at(1).fingerprint() != chain.at(0).fingerprint()
+
+
+def test_differently_materialised_versions_share_cache_entries():
+    # The payoff of path-independent identity: an entry computed against
+    # a *spliced* version is served to an engine holding the *rebuilt*
+    # materialisation of the same edge set — one cache, no recompute.
+    from repro.cache import ResultCache
+    from repro.engine import BatchEngine, DiffusionJob
+    from repro.graph import apply_updates, cycle_graph
+
+    base = cycle_graph(40)
+    spliced = apply_updates(base, insertions=[(0, 9)], rebuild_threshold=1.0)
+    rebuilt = apply_updates(base, insertions=[(0, 9)], rebuild_threshold=0.0)
+    cache = ResultCache()
+    job = DiffusionJob.make(0, params={"alpha": 0.1, "eps": 1e-3})
+    (cold,) = BatchEngine(spliced.graph, cache=cache, include_vectors=True).run([job])
+    assert not cold.cached
+    (hit,) = BatchEngine(rebuilt.graph, cache=cache, include_vectors=True).run([job])
+    assert hit.cached
+    assert np.array_equal(hit.vector_keys, cold.vector_keys)

@@ -311,3 +311,139 @@ class TestParser:
             check=True,
         )
         assert "soc-LJ" in result.stdout
+
+
+class TestUpdateCommand:
+    def _graph_path(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        return path
+
+    def test_update_with_loose_edges_writes_new_version(self, tmp_path, capsys):
+        path = self._graph_path(tmp_path)
+        out = tmp_path / "v1.npz"
+        assert main(
+            ["update", str(path), str(out), "--insert", "0", "3", "--delete", "0", "1"]
+        ) == 0
+        assert out.exists()
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("version 0: fingerprint ")
+        assert lines[1].startswith("version 1: fingerprint ")
+        assert "+1/-1 requested" in lines[1]
+        assert "(delta-splice)" in lines[1] or "(rebuild)" in lines[1]
+        assert lines[-1].startswith("wrote ")
+        # The written graph is the updated one, loadable by other commands.
+        assert main(["cluster", str(out), "--seed", "0", "--param", "eps=1e-4"]) == 0
+
+    def test_update_file_batches_become_versions(self, tmp_path, capsys):
+        path = self._graph_path(tmp_path)
+        updates = tmp_path / "updates.txt"
+        updates.write_text(
+            "# warm-up batch\n"
+            "+ 0 3\n"
+            "- 0 1\n"
+            "--\n"
+            "+ 0 1\n"
+        )
+        out = tmp_path / "v2.npz"
+        assert main(["update", str(path), str(out), "--updates", str(updates)]) == 0
+        output = capsys.readouterr().out
+        assert "version 1: fingerprint" in output
+        assert "version 2: fingerprint" in output
+
+    def test_update_without_edits_rejected(self, tmp_path):
+        path = self._graph_path(tmp_path)
+        with pytest.raises(SystemExit, match="nothing to apply"):
+            main(["update", str(path), str(tmp_path / "out.npz")])
+
+    def test_malformed_update_file_names_line(self, tmp_path):
+        path = self._graph_path(tmp_path)
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ 0 3\n* 1 2\n")
+        with pytest.raises(SystemExit, match=r"updates\.txt:2: expected"):
+            main(["update", str(path), str(tmp_path / "out.npz"), "--updates", str(updates)])
+
+    def test_non_integer_vertices_name_line(self, tmp_path):
+        path = self._graph_path(tmp_path)
+        updates = tmp_path / "updates.txt"
+        updates.write_text("+ a b\n")
+        with pytest.raises(SystemExit, match=r"updates\.txt:1: vertex ids"):
+            main(["update", str(path), str(tmp_path / "out.npz"), "--updates", str(updates)])
+
+
+class TestVersionFlags:
+    def _graph_and_updates(self, tmp_path):
+        path = tmp_path / "fig1.npz"
+        save_npz(paper_figure1_graph(), path)
+        updates = tmp_path / "updates.txt"
+        updates.write_text("- 0 1\n--\n+ 0 1\n")
+        return path, updates
+
+    def test_cluster_at_version_prints_chain_position(self, tmp_path, capsys):
+        path, updates = self._graph_and_updates(tmp_path)
+        assert main(
+            [
+                "cluster", str(path), "--seed", "0", "--param", "eps=1e-4",
+                "--updates", str(updates), "--at-version", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "version 1/2: fingerprint " in out
+        assert "phi=" in out
+
+    def test_cluster_updates_default_to_latest_version(self, tmp_path, capsys):
+        path, updates = self._graph_and_updates(tmp_path)
+        assert main(
+            [
+                "cluster", str(path), "--seed", "0", "--param", "eps=1e-4",
+                "--updates", str(updates),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "version 2/2: fingerprint " in out
+        # v2 re-inserts the deleted edge: identical answer to the base graph.
+        assert main(["cluster", str(path), "--seed", "0", "--param", "eps=1e-4"]) == 0
+        base_out = capsys.readouterr().out
+        phi = next(line for line in out.splitlines() if "phi=" in line)
+        assert phi in base_out
+
+    def test_missing_version_rejected(self, tmp_path):
+        path, updates = self._graph_and_updates(tmp_path)
+        with pytest.raises(SystemExit, match=r"--at-version 9 does not exist"):
+            main(
+                [
+                    "cluster", str(path), "--seed", "0",
+                    "--updates", str(updates), "--at-version", "9",
+                ]
+            )
+
+    def test_serve_honours_wire_graph_version(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        path, updates = self._graph_and_updates(tmp_path)
+        requests = [
+            {"id": "pinned", "seeds": 0, "graph_version": 1, "params": {"eps": 1e-4}},
+            {"id": "latest", "seeds": 0, "params": {"eps": 1e-4}},
+            {"id": "missing", "seeds": 0, "graph_version": 9},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("\n".join(json.dumps(r) for r in requests) + "\n"),
+        )
+        assert main(
+            ["serve", str(path), "--updates", str(updates), "--max-linger", "0"]
+        ) == 0
+        replies = {
+            r["id"]: r
+            for r in map(json.loads, capsys.readouterr().out.splitlines())
+        }
+        # v1 deletes an edge at vertex 0; v2 restores it, so the pinned
+        # reply must differ from the latest-version reply.
+        assert replies["pinned"]["size"] > 0 and replies["latest"]["size"] > 0
+        assert (
+            replies["pinned"]["pushes"] != replies["latest"]["pushes"]
+            or replies["pinned"]["size"] != replies["latest"]["size"]
+        )
+        assert replies["missing"]["error"]["code"] == 404
+        assert replies["missing"]["error"]["field"] == "graph_version"

@@ -1,0 +1,299 @@
+"""Unit tests for the evolving-graph plane.
+
+Covers the version chain itself (:mod:`repro.graph.evolving`), the
+engine's tracking-vs-pinned semantics (``graph_version=`` and the
+:class:`~repro.engine.VersionGuardSession` staleness guard, including
+the sharded-handle regression), and the region-aware cross-version
+cache migration (:func:`repro.cache.advance_version`).  The
+differential properties — incremental ≡ cold across kernels, backends
+and shard counts — live in ``test_evolving_differential.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import MigrationStats, ResultCache, advance_version, delta_region
+from repro.core.options import RequestError
+from repro.engine import BatchEngine, DiffusionJob, VersionGuardSession, resolve_engine
+from repro.graph import (
+    EvolvingGraph,
+    GraphVersion,
+    apply_updates,
+    barbell_graph,
+    cycle_graph,
+    normalize_update_edges,
+)
+
+
+class TestNormalizeUpdateEdges:
+    def test_orients_and_dedupes(self):
+        pairs = normalize_update_edges([(3, 1), (1, 3), (0, 2)], num_vertices=5)
+        assert pairs.tolist() == [[0, 2], [1, 3]]
+
+    def test_empty_input(self):
+        assert normalize_update_edges([], num_vertices=4).shape == (0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            normalize_update_edges([(2, 2)], num_vertices=4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 4\)"):
+            normalize_update_edges([(0, 4)], num_vertices=4)
+        with pytest.raises(ValueError):
+            normalize_update_edges([(-1, 2)], num_vertices=4)
+
+
+class TestApplyUpdates:
+    def test_insert_produces_next_version(self, small_cycle):
+        v1 = apply_updates(small_cycle, insertions=[(0, 6)])
+        assert v1.version == 1
+        assert v1.parent is not None and v1.parent.version == 0
+        assert v1.graph.has_edge(0, 6)
+        assert v1.touched.tolist() == [0, 6]
+        assert not small_cycle.has_edge(0, 6)  # parent untouched
+
+    def test_delete_removes_edge(self, small_cycle):
+        v1 = apply_updates(small_cycle, deletions=[(0, 1)])
+        assert not v1.graph.has_edge(0, 1)
+        assert v1.touched.tolist() == [0, 1]
+
+    def test_noop_batch_yields_identical_fingerprint(self, small_cycle):
+        # Inserting an existing edge / deleting a missing one is a no-op:
+        # the version advances but the content (and touched set) does not.
+        v1 = apply_updates(small_cycle, insertions=[(0, 1)], deletions=[(3, 7)])
+        assert v1.version == 1
+        assert len(v1.touched) == 0
+        assert v1.fingerprint() == GraphVersion(small_cycle).fingerprint()
+
+    def test_edge_in_both_lists_rejected(self, small_cycle):
+        with pytest.raises(ValueError, match="both insertions and deletions"):
+            apply_updates(small_cycle, insertions=[(0, 5)], deletions=[(5, 0)])
+
+    def test_rebuild_threshold_out_of_range(self, small_cycle):
+        with pytest.raises(ValueError, match="rebuild_threshold"):
+            apply_updates(small_cycle, insertions=[(0, 5)], rebuild_threshold=1.5)
+
+    def test_splice_and_rebuild_are_bit_identical(self, small_cycle):
+        insertions = [(0, 4), (2, 9)]
+        deletions = [(5, 6)]
+        spliced = apply_updates(
+            small_cycle, insertions, deletions, rebuild_threshold=1.0
+        )
+        rebuilt = apply_updates(
+            small_cycle, insertions, deletions, rebuild_threshold=0.0
+        )
+        assert not spliced.rebuilt and rebuilt.rebuilt
+        assert np.array_equal(spliced.graph.offsets, rebuilt.graph.offsets)
+        assert np.array_equal(spliced.graph.neighbors, rebuilt.graph.neighbors)
+        assert spliced.fingerprint() == rebuilt.fingerprint()
+
+    def test_insert_then_delete_returns_to_root_content(self, barbell):
+        root = GraphVersion(barbell)
+        v2 = root.apply(insertions=[(0, 12)]).apply(deletions=[(0, 12)])
+        assert v2.version == 2
+        assert v2.fingerprint() == root.fingerprint()
+
+    def test_touched_since_unions_the_chain(self, small_cycle):
+        root = GraphVersion(small_cycle)
+        v1 = root.apply(insertions=[(0, 4)])
+        v2 = v1.apply(deletions=[(7, 8)])
+        assert v2.touched_since(root).tolist() == [0, 4, 7, 8]
+        assert v2.touched_since(v1).tolist() == [7, 8]
+        assert len(v2.touched_since(v2)) == 0
+
+    def test_touched_since_rejects_non_ancestor(self, small_cycle):
+        root = GraphVersion(small_cycle)
+        v1 = root.apply(insertions=[(0, 4)])
+        sibling = root.apply(insertions=[(1, 5)])
+        with pytest.raises(ValueError, match="not an ancestor"):
+            v1.touched_since(sibling)
+
+
+class TestEvolvingGraph:
+    def test_chain_appends_and_addresses_versions(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        assert len(chain) == 1 and chain.latest.version == 0
+        v1 = chain.apply_updates(insertions=[(0, 3)])
+        assert len(chain) == 2
+        assert chain.at(1) is v1 and chain.latest is v1
+        assert chain.at(None) is v1
+        assert chain.at(0).graph is small_cycle
+
+    def test_nonexistent_version_raises(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        with pytest.raises(ValueError, match="have versions 0..0"):
+            chain.at(1)
+        with pytest.raises(ValueError):
+            chain.at(-1)
+
+    def test_root_must_be_a_root_version(self, small_cycle):
+        v1 = GraphVersion(small_cycle).apply(insertions=[(0, 3)])
+        with pytest.raises(ValueError, match="root version"):
+            EvolvingGraph(v1)
+
+    def test_num_vertices_stable_across_versions(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        chain.apply_updates(insertions=[(0, 3)])
+        assert chain.num_vertices == small_cycle.num_vertices
+
+
+class TestEngineVersioning:
+    def test_tracking_engine_goes_stale_after_update(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        engine = BatchEngine(chain)
+        assert engine.run([DiffusionJob.make(0)])  # fresh: runs fine
+        chain.apply_updates(insertions=[(0, 5)])
+        with pytest.raises(RequestError) as excinfo:
+            engine.run([DiffusionJob.make(0)])
+        assert excinfo.value.code == 409
+        assert excinfo.value.field == "graph_version"
+        message = str(excinfo.value)
+        assert chain.at(0).fingerprint()[:12] in message
+        assert chain.at(1).fingerprint()[:12] in message
+
+    def test_pinned_engine_survives_updates(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        pinned = BatchEngine(chain, graph_version=0)
+        before = pinned.run([DiffusionJob.make(0)])
+        chain.apply_updates(insertions=[(0, 5)])
+        after = pinned.run([DiffusionJob.make(0)])
+        assert before[0].support_size == after[0].support_size
+
+    def test_at_version_pins_and_shares_backend(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        engine = BatchEngine(chain)
+        chain.apply_updates(insertions=[(0, 5)])
+        fresh = engine.at_version()
+        assert fresh.graph_version == 1
+        assert fresh.backend is engine.backend
+        assert fresh.graph.has_edge(0, 5)
+        old = engine.at_version(0)
+        assert old.graph is small_cycle
+
+    def test_at_version_requires_evolving(self, small_cycle):
+        with pytest.raises(ValueError, match="EvolvingGraph"):
+            BatchEngine(small_cycle).at_version(0)
+
+    def test_plain_graph_rejects_graph_version(self, small_cycle):
+        with pytest.raises(ValueError, match="plain CSRGraph"):
+            BatchEngine(small_cycle, graph_version=0)
+
+    def test_resolve_engine_accepts_chain(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        chain.apply_updates(insertions=[(0, 5)])
+        engine = resolve_engine(chain, graph_version=0)
+        assert engine.graph is small_cycle
+
+    def test_tracking_session_refuses_after_update(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        engine = BatchEngine(chain)
+        with engine.open_session() as session:
+            assert isinstance(session, VersionGuardSession)
+            assert list(session.run([DiffusionJob.make(0)]))
+            chain.apply_updates(insertions=[(0, 5)])
+            with pytest.raises(RequestError) as excinfo:
+                list(session.run([DiffusionJob.make(0)]))
+            assert excinfo.value.code == 409
+
+    def test_pinned_session_is_not_guarded(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        with BatchEngine(chain, graph_version=0).open_session() as session:
+            assert not isinstance(session, VersionGuardSession)
+            chain.apply_updates(insertions=[(0, 5)])
+            assert list(session.run([DiffusionJob.make(0)]))
+
+    def test_stale_sharded_handle_named_in_error(self, planted):
+        # Regression (satellite of the evolving plane): a sharded session
+        # pins a shared-memory export stamped with the base fingerprint;
+        # after apply_updates the guard must name that stale handle rather
+        # than let the router keep reading the superseded partition.
+        chain = EvolvingGraph(planted)
+        engine = BatchEngine(chain, shards=2)
+        with engine.open_session() as session:
+            assert list(session.run([DiffusionJob.make(0)]))
+            stale_fingerprint = chain.at(0).fingerprint()
+            chain.apply_updates(insertions=[(0, 1500)])
+            with pytest.raises(RequestError) as excinfo:
+                list(session.run([DiffusionJob.make(0)]))
+        error = excinfo.value
+        assert error.code == 409
+        message = str(error)
+        assert "sharded export's handle" in message
+        assert stale_fingerprint[:12] in message
+        assert "at_version" in message  # remediation hint
+
+
+class TestCacheMigration:
+    def run_cached(self, engine, seed, eps=1e-3):
+        (outcome,) = engine.run(
+            [DiffusionJob.make(seed, params={"alpha": 0.1, "eps": eps})]
+        )
+        return outcome
+
+    def test_far_update_entry_survives_and_hits(self):
+        chain = EvolvingGraph(cycle_graph(200))
+        cache = ResultCache()
+        engine = BatchEngine(chain, cache=cache, include_vectors=True)
+        cold = self.run_cached(engine, seed=0)
+        assert not cold.cached
+        v1 = chain.apply_updates(insertions=[(100, 102)])  # far from seed 0
+        stats = advance_version(cache, v1)
+        assert (stats.examined, stats.survived) == (1, 1)
+        replay = self.run_cached(engine.at_version(1), seed=0)
+        assert replay.cached
+        assert replay.support_size == cold.support_size
+        assert np.array_equal(replay.vector_keys, cold.vector_keys)
+
+    def test_near_update_entry_invalidated(self):
+        chain = EvolvingGraph(cycle_graph(200))
+        cache = ResultCache()
+        engine = BatchEngine(chain, cache=cache, include_vectors=True)
+        cold = self.run_cached(engine, seed=0)
+        support = set(cold.vector_keys.tolist())
+        inside = max(support)
+        v1 = chain.apply_updates(insertions=[(inside, (inside + 50) % 200)])
+        stats = advance_version(cache, v1)
+        assert stats.survived == 0 and stats.invalidated == 1
+        replay = self.run_cached(engine.at_version(1), seed=0)
+        assert not replay.cached  # recomputed on the new edges
+
+    def test_old_version_keys_remain_valid(self):
+        chain = EvolvingGraph(cycle_graph(200))
+        cache = ResultCache()
+        engine = BatchEngine(chain, cache=cache, include_vectors=True, graph_version=0)
+        self.run_cached(engine, seed=0)
+        v1 = chain.apply_updates(insertions=[(100, 102)])
+        advance_version(cache, v1)
+        pinned_replay = self.run_cached(engine, seed=0)
+        assert pinned_replay.cached  # old fingerprint still answers v0
+
+    def test_noop_advance_is_empty(self, small_cycle):
+        chain = EvolvingGraph(small_cycle)
+        cache = ResultCache()
+        v1 = chain.apply_updates(insertions=[(0, 1)])  # existing edge: no-op
+        stats = advance_version(cache, v1)
+        assert stats == MigrationStats()
+
+    def test_root_version_rejected(self, small_cycle):
+        with pytest.raises(ValueError, match="no parent"):
+            advance_version(ResultCache(), GraphVersion(small_cycle))
+
+    def test_delta_region_covers_both_neighborhoods(self, small_cycle):
+        v1 = apply_updates(small_cycle, deletions=[(0, 1)])
+        region = delta_region(small_cycle, v1.graph, v1.touched)
+        # Touched endpoints plus their neighbors in either version.
+        assert {0, 1, 2, 11} <= set(region.tolist())
+
+    def test_survival_requires_vector_profile(self, small_cycle):
+        # Without persisted vectors the entry cannot prove which adjacency
+        # it read, so migration must skip (not survive) it.
+        chain = EvolvingGraph(cycle_graph(200))
+        cache = ResultCache()
+        engine = BatchEngine(chain, cache=cache, include_vectors=False)
+        self.run_cached(engine, seed=0)
+        v1 = chain.apply_updates(insertions=[(100, 102)])
+        stats = advance_version(cache, v1)
+        assert stats.survived == 0 and stats.skipped == 1

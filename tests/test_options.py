@@ -115,6 +115,27 @@ class TestClusterRequestWire:
         request = ClusterRequest.from_wire({"seeds": 1, "bogus": 3})
         assert request.seeds == (1,)
 
+    def test_graph_version_round_trips_and_is_lenient_when_absent(self):
+        # The evolving-plane extension rides wire v1 leniently: absent
+        # means "the current version" (so pre-extension clients keep
+        # working against pre-extension servers and vice versa), present
+        # round-trips exactly, and None is never written.
+        request = ClusterRequest.make(5, graph_version=3)
+        wire = request.to_wire()
+        assert wire["graph_version"] == 3
+        assert ClusterRequest.from_wire(wire) == request
+        unversioned = ClusterRequest.make(5).to_wire()
+        assert "graph_version" not in unversioned
+        assert ClusterRequest.from_wire(unversioned).graph_version is None
+
+    def test_graph_version_must_be_a_nonnegative_integer(self):
+        for bad in (-1, 1.5, "2", True):
+            with pytest.raises(RequestError, match="graph_version") as info:
+                ClusterRequest.from_wire({"v": 1, "seeds": [5], "graph_version": bad})
+            assert info.value.field == "graph_version"
+        with pytest.raises(RequestError, match="graph_version"):
+            EngineOptions(graph_version=-2).validate()
+
     def test_unsupported_version_rejected(self):
         with pytest.raises(RequestError, match="unsupported wire version"):
             ClusterRequest.from_wire({"v": 2, "seeds": [1]})

@@ -153,3 +153,22 @@ class TestSeeds:
         params = PRNibbleParams(alpha=0.05, eps=1e-7, max_iterations=3)
         result = pr_nibble_parallel(planted, 0, params)
         assert result.iterations == 3
+
+    def test_isolated_seed_terminates_and_matches_sequential(self):
+        # Regression: a degree-0 seed has push threshold eps * 0 = 0, so
+        # it used to stay frontier-eligible for max_iterations (10^9 —
+        # effectively a hang) while wrongly accumulating pagerank mass.
+        # Unpushable vertices must keep their mass in the residual, as
+        # the sequential reference does.
+        from repro.graph import from_edge_list
+
+        graph = from_edge_list([(0, 1)], num_vertices=4)
+        params = PRNibbleParams(alpha=0.1, eps=1e-3)
+        parallel = pr_nibble_parallel(graph, 3, params)
+        assert parallel.iterations == 0
+        assert parallel.support_size() == 0
+        assert parallel.extras["residual_mass"] == pytest.approx(1.0)
+        mixed_par = pr_nibble_parallel(graph, np.array([0, 3]), params)
+        mixed_seq = pr_nibble_sequential(graph, np.array([0, 3]), params)
+        assert _total_mass(mixed_par) == pytest.approx(_total_mass(mixed_seq))
+        assert mixed_par.vector[3] == 0.0 and mixed_seq.vector[3] == 0.0
